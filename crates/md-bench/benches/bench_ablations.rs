@@ -1,0 +1,257 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! skin distance, cell-list vs O(N²) neighbor build, Newton's-third-law
+//! halving, PPPM vs Ewald at equal accuracy, kernel precision, and memory
+//! layout (spatially sorted vs shuffled atom order).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_bench::{gas_atoms, random_gas};
+use md_core::neighbor::{brute_force_pairs, NeighborList, NeighborListKind};
+use md_core::{KspaceStyle, PairStyle, PairSystem, PrecisionMode, Simulation, UnitSystem, Vec3};
+use md_kspace::{Ewald, Pppm};
+use md_potentials::LjCut;
+use std::time::Duration;
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+/// Larger skins rebuild less often but compute more pairs per step: the
+/// classic Verlet-list trade-off behind Table 2's per-deck skin choices.
+fn ablation_skin(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_skin");
+    for skin in [0.05, 0.15, 0.3, 0.6] {
+        group.bench_with_input(BenchmarkId::from_parameter(skin), &skin, |b, &skin| {
+            b.iter_batched(
+                || {
+                    // A proper melt start (fcc lattice + Maxwell-Boltzmann
+                    // velocities): random placements at liquid density have
+                    // overlapping cores and blow up under dynamics.
+                    let (bx, x) = md_workloads::lattice::fcc(
+                        10,
+                        10,
+                        10,
+                        md_workloads::lattice::fcc_lattice_constant(0.8442),
+                    );
+                    let mut atoms = md_core::AtomStore::with_capacity(x.len());
+                    for p in x {
+                        atoms.push(p, Vec3::zero(), 0);
+                    }
+                    atoms.set_masses(vec![1.0]);
+                    md_core::compute::seed_velocities(&mut atoms, &UnitSystem::lj(), 1.44, 9);
+                    Simulation::builder(bx, atoms, UnitSystem::lj())
+                        .pair(Box::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid")))
+                        .skin(skin)
+                        .dt(0.005)
+                        .build()
+                        .expect("deck builds")
+                },
+                |mut sim| {
+                    sim.run(20).expect("steps run");
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Cell-binned O(N) neighbor construction vs the O(N²) reference.
+fn ablation_neighbor(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_neighbor");
+    let (bx, x) = random_gas(3000, 0.8442, 4);
+    group.bench_function("cell_list", |b| {
+        b.iter(|| {
+            let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+            nl.build(&x, &bx).expect("in-range cutoff");
+            nl.len()
+        })
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| brute_force_pairs(&x, &bx, 2.8).len())
+    });
+    group.finish();
+}
+
+/// Newton's third law: half lists visit each pair once; full lists twice
+/// (what the granular style pays, per the paper's Section 3).
+fn ablation_newton(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_newton");
+    let (bx, atoms) = gas_atoms(8000, 0.8442, 5);
+    let units = UnitSystem::lj();
+    for (label, kind) in [
+        ("half_newton_on", NeighborListKind::Half),
+        ("full_newton_off", NeighborListKind::Full),
+    ] {
+        let mut nl = NeighborList::new(2.5, 0.3, kind);
+        nl.build(atoms.x(), &bx).expect("in-range cutoff");
+        group.bench_function(label, |b| {
+            let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid");
+            b.iter(|| {
+                let sys = PairSystem {
+                    bx: &bx,
+                    x: atoms.x(),
+                    v: atoms.v(),
+                    kinds: atoms.kinds(),
+                    charge: atoms.charges(),
+                    radius: atoms.radii(),
+                    mass_by_type: atoms.masses_by_type(),
+                    units: &units,
+                    dt: 0.005,
+                };
+                let mut f = vec![Vec3::zero(); atoms.len()];
+                lj.compute(&sys, &nl, &mut f);
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+/// PPPM (FFT, O(N log N)) vs Ewald (O(N·K)) at the same accuracy target.
+fn ablation_kspace(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_kspace");
+    let (bx, x) = random_gas(512, 0.05, 8);
+    let q: Vec<f64> = (0..x.len()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let cutoff = 0.45 * bx.min_periodic_extent();
+    group.bench_function("ewald", |b| {
+        let mut solver = Ewald::new(cutoff, 1e-4);
+        solver.setup(&bx, &q).expect("charged system");
+        b.iter(|| {
+            let mut f = vec![Vec3::zero(); x.len()];
+            solver.compute(&bx, &x, &q, &mut f);
+            f
+        })
+    });
+    group.bench_function("pppm", |b| {
+        let mut solver = Pppm::new(cutoff, 1e-4, 5);
+        solver.setup(&bx, &q).expect("charged system");
+        b.iter(|| {
+            let mut f = vec![Vec3::zero(); x.len()];
+            solver.compute(&bx, &x, &q, &mut f);
+            f
+        })
+    });
+    group.finish();
+}
+
+/// Real single/mixed/double pair-kernel code paths (paper Section 8).
+fn ablation_precision(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_precision");
+    let (bx, atoms) = gas_atoms(8000, 0.8442, 6);
+    let units = UnitSystem::lj();
+    let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+    nl.build(atoms.x(), &bx).expect("in-range cutoff");
+    for mode in PrecisionMode::ALL {
+        group.bench_function(mode.label(), |b| {
+            let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid");
+            lj.set_precision(mode);
+            b.iter(|| {
+                let sys = PairSystem {
+                    bx: &bx,
+                    x: atoms.x(),
+                    v: atoms.v(),
+                    kinds: atoms.kinds(),
+                    charge: atoms.charges(),
+                    radius: atoms.radii(),
+                    mass_by_type: atoms.masses_by_type(),
+                    units: &units,
+                    dt: 0.005,
+                };
+                let mut f = vec![Vec3::zero(); atoms.len()];
+                lj.compute(&sys, &nl, &mut f);
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Memory layout: spatially ordered atoms stream the cache; a shuffled
+/// order defeats it (why LAMMPS sorts atoms by bin).
+fn ablation_layout(c: &mut Criterion) {
+    let mut group = quick(c, "ablation_layout");
+    let units = UnitSystem::lj();
+    let make = |shuffle: bool| {
+        let (bx, mut atoms) = gas_atoms(8000, 0.8442, 12);
+        if shuffle {
+            // Deterministic Fisher-Yates over the atom order.
+            let n = atoms.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut state = 0x12345678u64;
+            for i in (1..n).rev() {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let j = (state.wrapping_mul(0x2545F4914F6CDD1D) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut shuffled = md_core::AtomStore::with_capacity(n);
+            for &i in &order {
+                shuffled.push(atoms.x()[i], atoms.v()[i], 0);
+            }
+            shuffled.set_masses(vec![1.0]);
+            atoms = shuffled;
+        } else {
+            // Spatial sort by cell index (z-major), LAMMPS `atom_modify sort`.
+            let n = atoms.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            let xs: Vec<_> = atoms.x().to_vec();
+            order.sort_by_key(|&i| {
+                let f = bx.fractional(xs[i]);
+                let c = |v: f64| (v.clamp(0.0, 1.0 - 1e-12) * 16.0) as u32;
+                (c(f.z), c(f.y), c(f.x))
+            });
+            let mut sorted = md_core::AtomStore::with_capacity(n);
+            for &i in &order {
+                sorted.push(atoms.x()[i], atoms.v()[i], 0);
+            }
+            sorted.set_masses(vec![1.0]);
+            atoms = sorted;
+        }
+        let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+        nl.build(atoms.x(), &bx).expect("in-range cutoff");
+        (bx, atoms, nl)
+    };
+    for (label, shuffle) in [("spatially_sorted", false), ("shuffled", true)] {
+        let (bx, atoms, nl) = make(shuffle);
+        group.bench_function(label, |b| {
+            let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid");
+            b.iter(|| {
+                let sys = PairSystem {
+                    bx: &bx,
+                    x: atoms.x(),
+                    v: atoms.v(),
+                    kinds: atoms.kinds(),
+                    charge: atoms.charges(),
+                    radius: atoms.radii(),
+                    mass_by_type: atoms.masses_by_type(),
+                    units: &units,
+                    dt: 0.005,
+                };
+                let mut f = vec![Vec3::zero(); atoms.len()];
+                lj.compute(&sys, &nl, &mut f);
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_skin,
+    ablation_neighbor,
+    ablation_newton,
+    ablation_kspace,
+    ablation_precision,
+    ablation_layout
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Engine micro-benchmarks: the hot kernels of a timestep in isolation
+//! (pair force, neighbor build, 3D FFT, SHAKE, full deck step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_bench::gas_atoms;
+use md_core::constraint::{Shake, ShakeParams};
+use md_core::neighbor::{NeighborList, NeighborListKind};
+use md_core::{PairStyle, PairSystem, SimBox, UnitSystem, Vec3};
+use md_kspace::fft::{Direction, Fft3d};
+use md_kspace::Complex;
+use md_potentials::{LjCut, SuttonChenEam};
+use std::time::Duration;
+
+fn bench_pair_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_kernel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let (bx, atoms) = gas_atoms(8000, 0.8442, 1);
+    let units = UnitSystem::lj();
+    let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+    nl.build(atoms.x(), &bx).expect("in-range cutoff");
+    let sys = |dt: f64| PairSystem {
+        bx: &bx,
+        x: atoms.x(),
+        v: atoms.v(),
+        kinds: atoms.kinds(),
+        charge: atoms.charges(),
+        radius: atoms.radii(),
+        mass_by_type: atoms.masses_by_type(),
+        units: &units,
+        dt,
+    };
+    group.bench_function("lj_cut_8k", |b| {
+        let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid");
+        b.iter(|| {
+            let mut f = vec![Vec3::zero(); atoms.len()];
+            lj.compute(&sys(0.005), &nl, &mut f);
+            f
+        })
+    });
+    group.bench_function("eam_8k", |b| {
+        let mut eam = SuttonChenEam::copper();
+        // Reuse the same geometry; EAM's 4.95 cutoff fits the gas box.
+        let mut nl2 = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+        nl2.build(atoms.x(), &bx).expect("in-range cutoff");
+        b.iter(|| {
+            let mut f = vec![Vec3::zero(); atoms.len()];
+            eam.compute(&sys(0.005), &nl2, &mut f);
+            f
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbor_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for n in [4000usize, 16000] {
+        let (bx, atoms) = gas_atoms(n, 0.8442, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+                nl.build(atoms.x(), &bx).expect("in-range cutoff");
+                nl.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for dim in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut fft = Fft3d::new(dim, dim, dim).expect("power of two");
+            let mut data = vec![Complex::new(1.0, 0.0); fft.len()];
+            b.iter(|| {
+                fft.transform(&mut data, Direction::Forward).expect("sized");
+                fft.transform(&mut data, Direction::Inverse).expect("sized");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shake");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    // 1000 rigid waters slightly perturbed.
+    let bx = SimBox::cubic(100.0);
+    let mut atoms = md_core::AtomStore::new();
+    let mut constraints = Vec::new();
+    for m in 0..1000u32 {
+        let o = atoms.len() as u32;
+        let cx = 3.0 * (m % 30) as f64 + 1.5;
+        let cy = 3.0 * ((m / 30) % 30) as f64 + 1.5;
+        let cz = 3.0 * (m / 900) as f64 + 1.5;
+        atoms.push(Vec3::new(cx, cy, cz), Vec3::zero(), 0);
+        atoms.push(Vec3::new(cx + 0.99, cy, cz), Vec3::zero(), 1);
+        atoms.push(Vec3::new(cx - 0.3, cy + 0.93, cz), Vec3::zero(), 1);
+        constraints.push(ShakeParams { i: o, j: o + 1, length: 0.9572 });
+        constraints.push(ShakeParams { i: o, j: o + 2, length: 0.9572 });
+        constraints.push(ShakeParams { i: o + 1, j: o + 2, length: 1.5139 });
+    }
+    atoms.set_masses(vec![16.0, 1.0]);
+    group.bench_function("water_1k", |b| {
+        b.iter_batched(
+            || (atoms.clone(), Shake::new(constraints.clone(), 1e-6, 100)),
+            |(mut atoms, mut shake)| {
+                shake.apply(&mut atoms, &bx, 0.002).expect("converges");
+                atoms
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_deck_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deck_step");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500));
+    for bench in [md_workloads::Benchmark::Lj, md_workloads::Benchmark::Chain] {
+        group.bench_function(bench.name(), |b| {
+            let mut deck = md_workloads::build_deck(bench, 1, 3).expect("deck builds");
+            deck.simulation.run(5).expect("warmup");
+            b.iter(|| deck.simulation.run(1).expect("step runs").steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pair_kernels,
+    bench_neighbor_build,
+    bench_fft,
+    bench_shake,
+    bench_deck_step
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One Criterion benchmark per paper figure: each times the regeneration of
+//! that figure's full data series (at quick fidelity so the suite finishes
+//! in minutes; run the `figures` binary for the full-size sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_harness::{figures, ExperimentContext, Fidelity};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let ctx = ExperimentContext::new(Fidelity::Quick);
+        // Warm every cache (profiles, systems, censuses) so the benchmark
+        // measures figure regeneration, not first-run deck construction.
+        for (_, gen) in figures::GENERATORS {
+            let _ = gen(&ctx);
+        }
+        ctx
+    })
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    for (id, gen) in figures::GENERATORS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = gen(ctx()).expect("figure generation succeeds");
+                assert!(!fig.table.is_empty());
+                fig
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

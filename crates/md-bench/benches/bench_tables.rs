@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the paper's Tables 1–3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_harness::{tables, ExperimentContext, Fidelity};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let ctx = ExperimentContext::new(Fidelity::Quick);
+        let _ = tables::table2(&ctx); // warm the measured profiles
+        ctx
+    })
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    group.bench_function("table1", |b| b.iter(tables::table1));
+    group.bench_function("table2", |b| {
+        b.iter(|| tables::table2(ctx()).expect("table2 succeeds"))
+    });
+    group.bench_function("table3", |b| b.iter(tables::table3));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

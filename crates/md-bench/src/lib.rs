@@ -1,0 +1,59 @@
+//! # md-bench — shared fixtures for the Criterion benchmark targets
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `bench_figures` — one Criterion benchmark per paper figure (3–16),
+//!   timing the full regeneration of that figure's data series;
+//! * `bench_tables` — Tables 1–3;
+//! * `bench_ablations` — the design-choice ablations from DESIGN.md §6
+//!   (skin distance, cell vs O(N²) neighbor build, Newton halving, Ewald vs
+//!   PPPM, kernel precision, memory layout);
+//! * `bench_engine` — engine micro-benchmarks (pair kernel, neighbor build,
+//!   FFT, SHAKE).
+
+use md_core::{AtomStore, SimBox, UnitSystem, V3, Vec3};
+
+/// A reproducible random gas at a given reduced density (benchmark fixture).
+pub fn random_gas(n: usize, density: f64, seed: u64) -> (SimBox, Vec<V3>) {
+    let l = (n as f64 / density).cbrt();
+    let bx = SimBox::cubic(l);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let x = (0..n)
+        .map(|_| Vec3::new(next() * l, next() * l, next() * l))
+        .collect();
+    (bx, x)
+}
+
+/// An [`AtomStore`] over the random gas, single type, unit mass,
+/// Maxwell-Boltzmann velocities at T* = 1.
+pub fn gas_atoms(n: usize, density: f64, seed: u64) -> (SimBox, AtomStore) {
+    let (bx, x) = random_gas(n, density, seed);
+    let mut atoms = AtomStore::with_capacity(n);
+    for p in x {
+        atoms.push(p, Vec3::zero(), 0);
+    }
+    atoms.set_masses(vec![1.0]);
+    md_core::compute::seed_velocities(&mut atoms, &UnitSystem::lj(), 1.0, seed);
+    (bx, atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible() {
+        let (_, a) = random_gas(100, 0.8, 7);
+        let (_, b) = random_gas(100, 0.8, 7);
+        assert_eq!(a, b);
+        let (bx, atoms) = gas_atoms(50, 0.5, 3);
+        assert_eq!(atoms.len(), 50);
+        assert!(atoms.x().iter().all(|p| bx.contains(*p)));
+    }
+}

@@ -1,0 +1,469 @@
+//! Cell-binned Verlet neighbor lists with a skin distance.
+//!
+//! LAMMPS (Section 2 of the paper) tracks, for each atom, all partners within
+//! `cutoff + skin`; the *skin* allows reusing a list across several timesteps
+//! and rebuilding only when some atom has moved more than half the skin.
+//! The list can be *half* (each pair appears once — Newton's third law
+//! reused, the default) or *full* (each pair appears from both sides — what
+//! the granular Chute style requires, as the paper notes it does not exploit
+//! Newton's third law).
+
+use crate::error::Result;
+use crate::simbox::SimBox;
+use crate::V3;
+
+/// Whether each pair is listed once (half) or from both atoms (full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NeighborListKind {
+    /// Each `{i, j}` pair appears once, on the lower-indexed atom.
+    Half,
+    /// Each `{i, j}` pair appears in both atoms' lists.
+    Full,
+}
+
+/// Build/usage statistics, reported by Table 2 and consumed by the
+/// performance models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NeighborBuildStats {
+    /// Number of times the list was (re)built.
+    pub builds: usize,
+    /// Number of timestep-boundary checks that did *not* trigger a rebuild.
+    pub skipped_checks: usize,
+    /// Pairs stored at the last build.
+    pub pairs: usize,
+    /// Pairs within the bare cutoff (no skin) at the last build.
+    pub pairs_within_cutoff: usize,
+    /// Stored neighbors per atom at the last build (full-list convention;
+    /// includes the skin shell).
+    pub neighbors_per_atom: f64,
+    /// Neighbors per atom within the bare cutoff — the "Neighbors/atom" row
+    /// of the paper's Table 2.
+    pub neighbors_within_cutoff: f64,
+    /// Cells in the binning grid at the last build.
+    pub cells: usize,
+}
+
+/// A Verlet neighbor list built through cell binning.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    cutoff: f64,
+    skin: f64,
+    kind: NeighborListKind,
+    offsets: Vec<usize>,
+    neigh: Vec<u32>,
+    x_at_build: Vec<V3>,
+    stats: NeighborBuildStats,
+}
+
+impl NeighborList {
+    /// Creates an empty list for interactions up to `cutoff`, with rebuild
+    /// hysteresis `skin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff <= 0` or `skin < 0`.
+    pub fn new(cutoff: f64, skin: f64, kind: NeighborListKind) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        assert!(skin >= 0.0, "skin must be non-negative");
+        NeighborList {
+            cutoff,
+            skin,
+            kind,
+            offsets: vec![0],
+            neigh: Vec::new(),
+            x_at_build: Vec::new(),
+            stats: NeighborBuildStats::default(),
+        }
+    }
+
+    /// Assembles a list directly from flattened parts (`offsets.len() ==
+    /// natoms + 1`, `neigh` indexed by the offsets). Used to build
+    /// restricted *views* of an existing list (e.g. per-thread chunks); the
+    /// caller is responsible for the pairs being a subset of a valid build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically consistent with `neigh`.
+    pub fn from_parts(
+        cutoff: f64,
+        skin: f64,
+        kind: NeighborListKind,
+        offsets: Vec<usize>,
+        neigh: Vec<u32>,
+    ) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert_eq!(*offsets.last().expect("nonempty"), neigh.len(), "offsets must cover neigh");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        let mut stats = NeighborBuildStats::default();
+        stats.builds = 1;
+        stats.pairs = neigh.len();
+        NeighborList {
+            cutoff,
+            skin,
+            kind,
+            offsets,
+            neigh,
+            x_at_build: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Interaction cutoff.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Skin distance.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// Half or full list.
+    pub fn kind(&self) -> NeighborListKind {
+        self.kind
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> NeighborBuildStats {
+        self.stats
+    }
+
+    /// The neighbor slice of atom `i`.
+    #[inline(always)]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neigh[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of atoms the list was last built for.
+    pub fn natoms(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total stored pairs (directed entries).
+    pub fn len(&self) -> usize {
+        self.neigh.len()
+    }
+
+    /// Whether the list holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.neigh.is_empty()
+    }
+
+    /// Whether any atom has moved more than `skin / 2` since the last build.
+    ///
+    /// Uses minimum-image displacement so wrapped coordinates do not trigger
+    /// spurious rebuilds.
+    pub fn needs_rebuild(&self, x: &[V3], bx: &SimBox) -> bool {
+        if self.x_at_build.len() != x.len() {
+            return true;
+        }
+        let limit2 = (0.5 * self.skin) * (0.5 * self.skin);
+        x.iter()
+            .zip(&self.x_at_build)
+            .any(|(&a, &b)| bx.min_image(a, b).norm2() > limit2)
+    }
+
+    /// Checks the displacement trigger and rebuilds (with exclusions) if needed.
+    ///
+    /// Returns `true` when a rebuild happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NeighborList::build_with`] errors.
+    pub fn check_and_build<'a>(
+        &mut self,
+        x: &[V3],
+        bx: &SimBox,
+        exclusions: impl Fn(usize) -> &'a [u32],
+    ) -> Result<bool> {
+        if self.needs_rebuild(x, bx) {
+            self.build_with(x, bx, exclusions)?;
+            Ok(true)
+        } else {
+            self.stats.skipped_checks += 1;
+            Ok(false)
+        }
+    }
+
+    /// Unconditionally rebuilds the list with no exclusions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CutoffTooLarge`] if `cutoff + skin`
+    /// exceeds half the smallest periodic box extent.
+    pub fn build(&mut self, x: &[V3], bx: &SimBox) -> Result<()> {
+        self.build_with(x, bx, |_| &[])
+    }
+
+    /// Unconditionally rebuilds the list, dropping pairs reported by
+    /// `exclusions(i)` (a sorted slice of excluded partners of atom `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CutoffTooLarge`] if `cutoff + skin`
+    /// exceeds half the smallest periodic box extent.
+    pub fn build_with<'a>(
+        &mut self,
+        x: &[V3],
+        bx: &SimBox,
+        exclusions: impl Fn(usize) -> &'a [u32],
+    ) -> Result<()> {
+        let range = self.cutoff + self.skin;
+        bx.check_interaction_range(range)?;
+        let n = x.len();
+        let range2 = range * range;
+        let cut2 = self.cutoff * self.cutoff;
+        let mut within_cut = 0usize;
+        let lengths = bx.lengths();
+
+        // Bin geometry: cells at least `range` wide so only 27 cells are searched.
+        let mut ncell = [1usize; 3];
+        for d in 0..3 {
+            ncell[d] = ((lengths[d] / range).floor() as usize).max(1);
+        }
+        let ncells = ncell[0] * ncell[1] * ncell[2];
+
+        // Count-then-fill binning.
+        let cell_of = |p: V3| -> usize {
+            let f = bx.fractional(p);
+            let mut c = [0usize; 3];
+            for d in 0..3 {
+                let fd = f[d].clamp(0.0, 1.0 - 1e-12);
+                c[d] = ((fd * ncell[d] as f64) as usize).min(ncell[d] - 1);
+            }
+            (c[2] * ncell[1] + c[1]) * ncell[0] + c[0]
+        };
+        let mut head = vec![u32::MAX; ncells];
+        let mut next = vec![u32::MAX; n];
+        for (i, &p) in x.iter().enumerate() {
+            let c = cell_of(p);
+            next[i] = head[c];
+            head[c] = i as u32;
+        }
+
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.neigh.clear();
+        self.offsets.push(0);
+
+        let half = self.kind == NeighborListKind::Half;
+        // With fewer than 3 cells on a periodic axis, distinct (dx,dy,dz)
+        // offsets alias to the same cell and candidates repeat; dedupe then.
+        let needs_dedup = (0..3).any(|d| ncell[d] < 3 && bx.is_periodic(d));
+        let mut scratch: Vec<u32> = Vec::with_capacity(128);
+        for i in 0..n {
+            scratch.clear();
+            let xi = x[i];
+            let f = bx.fractional(xi);
+            let mut ci = [0usize; 3];
+            for d in 0..3 {
+                let fd = f[d].clamp(0.0, 1.0 - 1e-12);
+                ci[d] = ((fd * ncell[d] as f64) as usize).min(ncell[d] - 1);
+            }
+            let excl = exclusions(i);
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let mut cc = [0usize; 3];
+                        let deltas = [dx, dy, dz];
+                        let mut skip = false;
+                        for d in 0..3 {
+                            let raw = ci[d] as i64 + deltas[d];
+                            if bx.is_periodic(d) {
+                                cc[d] = raw.rem_euclid(ncell[d] as i64) as usize;
+                            } else if raw < 0 || raw >= ncell[d] as i64 {
+                                skip = true;
+                                break;
+                            } else {
+                                cc[d] = raw as usize;
+                            }
+                        }
+                        if skip {
+                            continue;
+                        }
+                        let cell = (cc[2] * ncell[1] + cc[1]) * ncell[0] + cc[0];
+                        let mut j = head[cell];
+                        while j != u32::MAX {
+                            let ju = j as usize;
+                            if ju != i && (!half || ju > i) {
+                                let d = bx.min_image(x[ju], xi);
+                                let r2 = d.norm2();
+                                if r2 < range2
+                                    && (excl.is_empty() || excl.binary_search(&j).is_err())
+                                    && (!needs_dedup || !scratch.contains(&j))
+                                {
+                                    scratch.push(j);
+                                    if r2 < cut2 {
+                                        within_cut += 1;
+                                    }
+                                }
+                            }
+                            j = next[ju];
+                        }
+                    }
+                }
+            }
+            self.neigh.extend_from_slice(&scratch);
+            self.offsets.push(self.neigh.len());
+        }
+
+        self.x_at_build.clear();
+        self.x_at_build.extend_from_slice(x);
+        self.stats.builds += 1;
+        self.stats.pairs = self.neigh.len();
+        self.stats.pairs_within_cutoff = within_cut;
+        self.stats.cells = ncells;
+        let per_atom = |directed: f64| {
+            if n == 0 {
+                0.0
+            } else {
+                match self.kind {
+                    NeighborListKind::Half => 2.0 * directed / n as f64,
+                    NeighborListKind::Full => directed / n as f64,
+                }
+            }
+        };
+        self.stats.neighbors_per_atom = per_atom(self.neigh.len() as f64);
+        self.stats.neighbors_within_cutoff = per_atom(within_cut as f64);
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for NeighborList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} neighbor list: cutoff {} skin {} ({} atoms, {:.1} nbr/atom)",
+            self.kind,
+            self.cutoff,
+            self.skin,
+            self.natoms(),
+            self.stats.neighbors_per_atom
+        )
+    }
+}
+
+/// Reference O(N²) neighbor enumeration, used by tests and tiny systems.
+pub fn brute_force_pairs(x: &[V3], bx: &SimBox, range: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let r2 = range * range;
+    for i in 0..x.len() {
+        for j in (i + 1)..x.len() {
+            if bx.min_image(x[j], x[i]).norm2() < r2 {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_positions(n: usize, l: f64, seed: u64) -> Vec<V3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect()
+    }
+
+    fn pair_set(nl: &NeighborList) -> std::collections::BTreeSet<(u32, u32)> {
+        let mut s = std::collections::BTreeSet::new();
+        for i in 0..nl.natoms() {
+            for &j in nl.neighbors(i) {
+                let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+                s.insert((a, b));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn matches_brute_force_half() {
+        let bx = SimBox::cubic(10.0);
+        let x = random_positions(200, 10.0, 42);
+        let mut nl = NeighborList::new(2.0, 0.5, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        let expected: std::collections::BTreeSet<_> =
+            brute_force_pairs(&x, &bx, 2.5).into_iter().collect();
+        assert_eq!(pair_set(&nl), expected);
+    }
+
+    #[test]
+    fn matches_brute_force_full() {
+        let bx = SimBox::cubic(8.0);
+        let x = random_positions(150, 8.0, 7);
+        let mut nl = NeighborList::new(1.5, 0.3, NeighborListKind::Full);
+        nl.build(&x, &bx).unwrap();
+        let expected: std::collections::BTreeSet<_> =
+            brute_force_pairs(&x, &bx, 1.8).into_iter().collect();
+        assert_eq!(pair_set(&nl), expected);
+        // Full list has exactly twice the directed entries.
+        assert_eq!(nl.len(), 2 * expected.len());
+    }
+
+    #[test]
+    fn nonperiodic_axis_has_no_wraparound_pairs() {
+        let bx = SimBox::cubic(10.0).with_periodicity(true, true, false);
+        let x = vec![Vec3::new(5.0, 5.0, 0.2), Vec3::new(5.0, 5.0, 9.8)];
+        let mut nl = NeighborList::new(2.0, 0.0, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        assert_eq!(nl.len(), 0);
+    }
+
+    #[test]
+    fn rebuild_trigger_uses_half_skin() {
+        let bx = SimBox::cubic(10.0);
+        let mut x = random_positions(50, 10.0, 3);
+        let mut nl = NeighborList::new(2.0, 0.4, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        assert!(!nl.needs_rebuild(&x, &bx));
+        x[0].x += 0.19; // less than skin/2
+        assert!(!nl.needs_rebuild(&x, &bx));
+        x[0].x += 0.05; // now over skin/2 total
+        assert!(nl.needs_rebuild(&x, &bx));
+    }
+
+    #[test]
+    fn rejects_oversized_cutoff() {
+        let bx = SimBox::cubic(4.0);
+        let x = random_positions(10, 4.0, 1);
+        let mut nl = NeighborList::new(2.5, 0.0, NeighborListKind::Half);
+        assert!(nl.build(&x, &bx).is_err());
+    }
+
+    #[test]
+    fn stats_track_builds_and_density() {
+        let bx = SimBox::cubic(10.0);
+        let x = random_positions(500, 10.0, 11);
+        let mut nl = NeighborList::new(2.0, 0.3, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        let s = nl.stats();
+        assert_eq!(s.builds, 1);
+        // Expected full-convention neighbors/atom ~ rho * 4/3 pi r^3.
+        let rho = 500.0 / 1000.0;
+        let expect = rho * 4.0 / 3.0 * std::f64::consts::PI * 2.3f64.powi(3);
+        assert!(
+            (s.neighbors_per_atom - expect).abs() / expect < 0.25,
+            "{} vs {}",
+            s.neighbors_per_atom,
+            expect
+        );
+    }
+
+    #[test]
+    fn exclusions_remove_pairs() {
+        let bx = SimBox::cubic(10.0);
+        let x = vec![Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.5, 1.0, 1.0)];
+        let mut nl = NeighborList::new(2.0, 0.0, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        assert_eq!(nl.len(), 1);
+        let excl: Vec<Vec<u32>> = vec![vec![1], vec![0]];
+        nl.build_with(&x, &bx, |i| excl[i].as_slice()).unwrap();
+        assert_eq!(nl.len(), 0);
+    }
+}

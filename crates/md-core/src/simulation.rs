@@ -1,0 +1,647 @@
+//! The timestep driver: wires integrator, neighbor list, force styles, and
+//! fixes together in the order of the paper's Figure 1, attributing the time
+//! of every phase to its Table-1 task.
+//!
+//! ```text
+//! I    initial integration          -> Modify
+//! II   apply boundary conditions    -> Neigh (folded into the rebuild check)
+//! III  update neighbor list         -> Neigh
+//! IV   (inter-processor comm)       -> Comm (only in md-parallel runs)
+//! V    pairwise short-range forces  -> Pair
+//! VI   long-range forces            -> Kspace
+//! VII  bonded forces                -> Bond
+//! VIII compute system properties    -> Output
+//! ```
+
+use crate::atoms::AtomStore;
+use crate::compute::{kinetic_energy, pressure, temperature, ThermoState};
+use crate::constraint::Shake;
+use crate::error::{CoreError, Result};
+use crate::force::{
+    AngleStyle, BondStyle, DihedralStyle, EnergyVirial, Fix, KspaceStyle, PairStyle, PairSystem,
+};
+use crate::integrate::{IntegrateContext, Integrator, VelocityVerlet};
+use crate::neighbor::NeighborList;
+use crate::simbox::SimBox;
+use crate::task::{TaskKind, TaskLedger};
+use crate::units::UnitSystem;
+use crate::vec3::Vec3;
+use crate::V3;
+use std::time::Instant;
+
+/// Summary of a [`Simulation::run`] call.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Timesteps executed.
+    pub steps: u64,
+    /// Wall-clock seconds elapsed.
+    pub wall_seconds: f64,
+    /// Timesteps per second (the paper's TS/s metric).
+    pub ts_per_sec: f64,
+    /// Per-task time ledger for the run.
+    pub ledger: TaskLedger,
+    /// Thermodynamic state after the final step.
+    pub thermo: ThermoState,
+    /// Neighbor-list rebuilds during the run.
+    pub neighbor_builds: usize,
+}
+
+/// A single-process MD simulation.
+///
+/// Construct with [`SimulationBuilder`]; drive with [`Simulation::step`] or
+/// [`Simulation::run`].
+pub struct Simulation {
+    units: UnitSystem,
+    dt: f64,
+    bx: SimBox,
+    atoms: AtomStore,
+    pair: Option<Box<dyn PairStyle>>,
+    bond: Option<Box<dyn BondStyle>>,
+    angle: Option<Box<dyn AngleStyle>>,
+    dihedral: Option<Box<dyn DihedralStyle>>,
+    kspace: Option<Box<dyn KspaceStyle>>,
+    integrator: Box<dyn Integrator>,
+    fixes: Vec<Box<dyn Fix>>,
+    shake: Option<Shake>,
+    neighbor: Option<NeighborList>,
+    forces: Vec<V3>,
+    ledger: TaskLedger,
+    step: u64,
+    thermo_every: u64,
+    energy: EnergyVirial,
+    thermo_log: Vec<ThermoState>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("atoms", &self.atoms.len())
+            .field("step", &self.step)
+            .field("dt", &self.dt)
+            .field("box", &self.bx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation over `atoms` in `bx`.
+    pub fn builder(bx: SimBox, atoms: AtomStore, units: UnitSystem) -> SimulationBuilder {
+        SimulationBuilder::new(bx, atoms, units)
+    }
+
+    /// Current timestep index.
+    pub fn step_index(&self) -> u64 {
+        self.step
+    }
+
+    /// The simulation box (changes under NPT).
+    pub fn sim_box(&self) -> &SimBox {
+        &self.bx
+    }
+
+    /// The atom store.
+    pub fn atoms(&self) -> &AtomStore {
+        &self.atoms
+    }
+
+    /// The atom store, mutable (e.g. to reseed velocities between stages).
+    pub fn atoms_mut(&mut self) -> &mut AtomStore {
+        &mut self.atoms
+    }
+
+    /// The per-task time ledger accumulated so far.
+    pub fn ledger(&self) -> &TaskLedger {
+        &self.ledger
+    }
+
+    /// Unit system in use.
+    pub fn units(&self) -> &UnitSystem {
+        &self.units
+    }
+
+    /// Timestep length.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The neighbor list, if a pair style is configured.
+    pub fn neighbor_list(&self) -> Option<&NeighborList> {
+        self.neighbor.as_ref()
+    }
+
+    /// Energy/virial totals from the most recent force evaluation.
+    pub fn energy(&self) -> EnergyVirial {
+        self.energy
+    }
+
+    /// Mesh statistics of the long-range solver, if one is configured.
+    pub fn kspace_stats(&self) -> Option<crate::force::KspaceStats> {
+        self.kspace.as_ref().map(|k| k.stats())
+    }
+
+    /// Thermodynamic rows recorded so far (one per `thermo_every` steps).
+    pub fn thermo_log(&self) -> &[ThermoState] {
+        &self.thermo_log
+    }
+
+    /// Computes the instantaneous thermodynamic state.
+    pub fn thermo(&self) -> ThermoState {
+        ThermoState {
+            step: self.step,
+            temperature: temperature(&self.atoms, &self.units),
+            kinetic: kinetic_energy(&self.atoms, &self.units),
+            potential: self.energy.energy(),
+            pressure: pressure(&self.atoms, &self.units, &self.bx, self.energy.virial),
+            volume: self.bx.volume(),
+        }
+    }
+
+    /// Evaluates all forces at the current positions (used at setup and by
+    /// every timestep). Updates `self.energy` and the atom force array.
+    fn compute_forces(&mut self) {
+        let n = self.atoms.len();
+        if self.forces.len() != n {
+            self.forces.resize(n, Vec3::zero());
+        }
+        for f in &mut self.forces {
+            *f = Vec3::zero();
+        }
+        let mut energy = EnergyVirial::default();
+
+        // Pair (task V).
+        if let (Some(pair), Some(nl)) = (self.pair.as_mut(), self.neighbor.as_ref()) {
+            let t0 = Instant::now();
+            let sys = PairSystem {
+                bx: &self.bx,
+                x: self.atoms.x(),
+                v: self.atoms.v(),
+                kinds: self.atoms.kinds(),
+                charge: self.atoms.charges(),
+                radius: self.atoms.radii(),
+                mass_by_type: self.atoms.masses_by_type(),
+                units: &self.units,
+                dt: self.dt,
+            };
+            energy += pair.compute(&sys, nl, &mut self.forces);
+            self.ledger.add(TaskKind::Pair, t0.elapsed().as_secs_f64());
+        }
+
+        // Bonded (task VII).
+        let t0 = Instant::now();
+        let mut bonded_any = false;
+        if let Some(bond) = self.bond.as_mut() {
+            energy += bond.compute(&self.bx, self.atoms.x(), self.atoms.bonds(), &mut self.forces);
+            bonded_any = true;
+        }
+        if let Some(angle) = self.angle.as_mut() {
+            energy +=
+                angle.compute(&self.bx, self.atoms.x(), self.atoms.angles(), &mut self.forces);
+            bonded_any = true;
+        }
+        if let Some(dihedral) = self.dihedral.as_mut() {
+            energy += dihedral.compute(
+                &self.bx,
+                self.atoms.x(),
+                self.atoms.dihedrals(),
+                &mut self.forces,
+            );
+            bonded_any = true;
+        }
+        if bonded_any {
+            self.ledger.add(TaskKind::Bond, t0.elapsed().as_secs_f64());
+        }
+
+        // K-space (task VI).
+        if let Some(kspace) = self.kspace.as_mut() {
+            let t0 = Instant::now();
+            energy += kspace.compute(
+                &self.bx,
+                self.atoms.x(),
+                self.atoms.charges(),
+                &mut self.forces,
+            );
+            self.ledger.add(TaskKind::Kspace, t0.elapsed().as_secs_f64());
+        }
+
+        // Post-force fixes (Modify).
+        if !self.fixes.is_empty() {
+            let t0 = Instant::now();
+            let sys = PairSystem {
+                bx: &self.bx,
+                x: self.atoms.x(),
+                v: self.atoms.v(),
+                kinds: self.atoms.kinds(),
+                charge: self.atoms.charges(),
+                radius: self.atoms.radii(),
+                mass_by_type: self.atoms.masses_by_type(),
+                units: &self.units,
+                dt: self.dt,
+            };
+            for fix in &mut self.fixes {
+                fix.post_force(&sys, &mut self.forces);
+            }
+            self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+        }
+
+        self.atoms.f_mut().copy_from_slice(&self.forces);
+        self.energy = energy;
+    }
+
+    /// Rebuilds the neighbor list if the displacement trigger fired, wrapping
+    /// positions into the box first (task III / boundary step II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates neighbor-build failures (cutoff too large for the box).
+    fn refresh_neighbors(&mut self, force_build: bool) -> Result<()> {
+        let Some(nl) = self.neighbor.as_mut() else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let rebuild = force_build || nl.needs_rebuild(self.atoms.x(), &self.bx);
+        if rebuild {
+            {
+                let bx = self.bx;
+                let (x, images) = self.atoms.x_and_images_mut();
+                for (xi, im) in x.iter_mut().zip(images.iter_mut()) {
+                    bx.wrap(xi, im);
+                }
+            }
+            let atoms = &self.atoms;
+            nl.build_with(atoms.x(), &self.bx, |i| atoms.exclusions(i))?;
+        }
+        self.ledger.add(TaskKind::Neigh, t0.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// Advances the simulation by one timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if SHAKE fails to converge or the neighbor list
+    /// cannot be rebuilt.
+    pub fn step(&mut self) -> Result<()> {
+        // I: initial integration (+ SHAKE projection) — Modify.
+        let t0 = Instant::now();
+        let ctx = IntegrateContext {
+            dt: self.dt,
+            units: &self.units,
+            virial: self.energy.virial,
+        };
+        self.integrator.initial_integrate(&mut self.atoms, &mut self.bx, &ctx);
+        if let Some(shake) = self.shake.as_mut() {
+            shake.apply(&mut self.atoms, &self.bx, self.dt)?;
+        }
+        self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+
+        // II + III: boundary conditions + neighbor maintenance — Neigh.
+        self.refresh_neighbors(false)?;
+
+        // V + VI + VII (+ post-force fixes): forces.
+        self.compute_forces();
+
+        // Final integration — Modify.
+        let t0 = Instant::now();
+        let ctx = IntegrateContext {
+            dt: self.dt,
+            units: &self.units,
+            virial: self.energy.virial,
+        };
+        self.integrator.final_integrate(&mut self.atoms, &mut self.bx, &ctx);
+        self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+
+        self.step += 1;
+
+        // VIII: thermodynamic output — Output.
+        if self.thermo_every > 0 && self.step % self.thermo_every == 0 {
+            let t0 = Instant::now();
+            let row = self.thermo();
+            self.thermo_log.push(row);
+            self.ledger.add(TaskKind::Output, t0.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+
+    /// Runs `nsteps` timesteps and reports timing.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing step and returns its error.
+    pub fn run(&mut self, nsteps: u64) -> Result<StepReport> {
+        let ledger_before = self.ledger.clone();
+        let builds_before = self.neighbor.as_ref().map_or(0, |n| n.stats().builds);
+        let t0 = Instant::now();
+        for _ in 0..nsteps {
+            self.step()?;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let mut ledger = self.ledger.clone();
+        // Report only this run's share.
+        let mut delta = TaskLedger::new();
+        for (task, seconds) in ledger.iter() {
+            delta.add(task, seconds - ledger_before.seconds(task));
+        }
+        ledger = delta;
+        Ok(StepReport {
+            steps: nsteps,
+            wall_seconds: wall,
+            ts_per_sec: if wall > 0.0 { nsteps as f64 / wall } else { 0.0 },
+            ledger,
+            thermo: self.thermo(),
+            neighbor_builds: self.neighbor.as_ref().map_or(0, |n| n.stats().builds) - builds_before,
+        })
+    }
+}
+
+/// Builder for [`Simulation`] (non-consuming configuration, consuming build).
+pub struct SimulationBuilder {
+    bx: SimBox,
+    atoms: AtomStore,
+    units: UnitSystem,
+    dt: Option<f64>,
+    skin: f64,
+    pair: Option<Box<dyn PairStyle>>,
+    bond: Option<Box<dyn BondStyle>>,
+    angle: Option<Box<dyn AngleStyle>>,
+    dihedral: Option<Box<dyn DihedralStyle>>,
+    kspace: Option<Box<dyn KspaceStyle>>,
+    integrator: Option<Box<dyn Integrator>>,
+    fixes: Vec<Box<dyn Fix>>,
+    shake: Option<Shake>,
+    thermo_every: u64,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("atoms", &self.atoms.len())
+            .field("skin", &self.skin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// Creates a builder with NVE integration, the unit system's default
+    /// timestep, and a zero skin.
+    pub fn new(bx: SimBox, atoms: AtomStore, units: UnitSystem) -> Self {
+        SimulationBuilder {
+            bx,
+            atoms,
+            units,
+            dt: None,
+            skin: 0.0,
+            pair: None,
+            bond: None,
+            angle: None,
+            dihedral: None,
+            kspace: None,
+            integrator: None,
+            fixes: Vec::new(),
+            shake: None,
+            thermo_every: 0,
+        }
+    }
+
+    /// Sets the timestep (defaults to the unit system's conventional value).
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Sets the neighbor skin distance.
+    pub fn skin(mut self, skin: f64) -> Self {
+        self.skin = skin;
+        self
+    }
+
+    /// Sets the pairwise potential.
+    pub fn pair(mut self, pair: Box<dyn PairStyle>) -> Self {
+        self.pair = Some(pair);
+        self
+    }
+
+    /// Sets the bond potential.
+    pub fn bond(mut self, bond: Box<dyn BondStyle>) -> Self {
+        self.bond = Some(bond);
+        self
+    }
+
+    /// Sets the angle potential.
+    pub fn angle(mut self, angle: Box<dyn AngleStyle>) -> Self {
+        self.angle = Some(angle);
+        self
+    }
+
+    /// Sets the dihedral potential.
+    pub fn dihedral(mut self, dihedral: Box<dyn DihedralStyle>) -> Self {
+        self.dihedral = Some(dihedral);
+        self
+    }
+
+    /// Sets the long-range solver.
+    pub fn kspace(mut self, kspace: Box<dyn KspaceStyle>) -> Self {
+        self.kspace = Some(kspace);
+        self
+    }
+
+    /// Sets the integrator (defaults to NVE velocity-Verlet).
+    pub fn integrator(mut self, integrator: Box<dyn Integrator>) -> Self {
+        self.integrator = Some(integrator);
+        self
+    }
+
+    /// Adds a post-force fix (thermostat, gravity, wall, ...).
+    pub fn fix(mut self, fix: Box<dyn Fix>) -> Self {
+        self.fixes.push(fix);
+        self
+    }
+
+    /// Adds SHAKE constraints.
+    pub fn shake(mut self, shake: Shake) -> Self {
+        self.shake = Some(shake);
+        self
+    }
+
+    /// Records a thermo row every `every` steps (0 disables).
+    pub fn thermo_every(mut self, every: u64) -> Self {
+        self.thermo_every = every;
+        self
+    }
+
+    /// Validates the configuration, builds the initial neighbor list, runs
+    /// the k-space setup, and evaluates initial forces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the atom store is inconsistent, the box cannot
+    /// accommodate the interaction range, or a style's setup fails.
+    pub fn build(self) -> Result<Simulation> {
+        self.atoms.validate()?;
+        if self.atoms.masses_by_type().is_empty() && !self.atoms.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "masses",
+                reason: "mass table is empty; call AtomStore::set_masses".to_string(),
+            });
+        }
+        let dt = self.dt.unwrap_or(self.units.default_dt);
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "dt",
+                reason: format!("timestep {dt} must be positive and finite"),
+            });
+        }
+        let neighbor = match &self.pair {
+            Some(p) => Some(NeighborList::new(p.cutoff(), self.skin, p.list_kind())),
+            None => None,
+        };
+        let mut kspace = self.kspace;
+        if let Some(ks) = kspace.as_mut() {
+            ks.setup(&self.bx, self.atoms.charges())?;
+        }
+        let mut sim = Simulation {
+            units: self.units,
+            dt,
+            bx: self.bx,
+            atoms: self.atoms,
+            pair: self.pair,
+            bond: self.bond,
+            angle: self.angle,
+            dihedral: self.dihedral,
+            kspace,
+            integrator: self
+                .integrator
+                .unwrap_or_else(|| Box::new(VelocityVerlet::new())),
+            fixes: self.fixes,
+            shake: self.shake,
+            neighbor,
+            forces: Vec::new(),
+            ledger: TaskLedger::new(),
+            step: 0,
+            thermo_every: self.thermo_every,
+            energy: EnergyVirial::default(),
+            thermo_log: Vec::new(),
+        };
+        sim.refresh_neighbors(true)?;
+        sim.compute_forces();
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pure harmonic tether to the box center, for driver plumbing tests.
+    struct Tether {
+        k: f64,
+    }
+
+    impl PairStyle for Tether {
+        fn name(&self) -> &'static str {
+            "tether"
+        }
+        fn cutoff(&self) -> f64 {
+            2.0
+        }
+        fn compute(
+            &mut self,
+            sys: &PairSystem<'_>,
+            _nl: &NeighborList,
+            f: &mut [V3],
+        ) -> EnergyVirial {
+            let c = (sys.bx.lo() + sys.bx.hi()) * 0.5;
+            let mut e = 0.0;
+            for (i, &xi) in sys.x.iter().enumerate() {
+                let d = xi - c;
+                f[i] -= d * self.k;
+                e += 0.5 * self.k * d.norm2();
+            }
+            EnergyVirial {
+                evdwl: e,
+                ecoul: 0.0,
+                virial: 0.0,
+            }
+        }
+    }
+
+    fn harmonic_sim() -> Simulation {
+        let mut atoms = AtomStore::new();
+        atoms.push(Vec3::new(6.0, 5.0, 5.0), Vec3::zero(), 0);
+        atoms.set_masses(vec![1.0]);
+        Simulation::builder(SimBox::cubic(10.0), atoms, UnitSystem::lj())
+            .pair(Box::new(Tether { k: 1.0 }))
+            .dt(0.01)
+            .skin(0.5)
+            .thermo_every(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        let mut sim = harmonic_sim();
+        let e0 = sim.thermo().total_energy();
+        sim.run(2000).unwrap();
+        let e1 = sim.thermo().total_energy();
+        assert!((e1 - e0).abs() < 1e-4 * e0.abs().max(1.0), "{e0} -> {e1}");
+    }
+
+    #[test]
+    fn harmonic_oscillator_has_correct_period() {
+        let mut sim = harmonic_sim();
+        // omega = sqrt(k/m) = 1, period = 2*pi; after one period x ~ initial.
+        let steps = (2.0 * std::f64::consts::PI / 0.01).round() as u64;
+        sim.run(steps).unwrap();
+        assert!((sim.atoms().x()[0].x - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ledger_attributes_pair_and_modify_time() {
+        let mut sim = harmonic_sim();
+        sim.run(50).unwrap();
+        assert!(sim.ledger().seconds(TaskKind::Pair) > 0.0);
+        assert!(sim.ledger().seconds(TaskKind::Modify) > 0.0);
+        assert!(sim.ledger().seconds(TaskKind::Neigh) > 0.0);
+    }
+
+    #[test]
+    fn thermo_log_records_rows() {
+        let mut sim = harmonic_sim();
+        sim.run(35).unwrap();
+        assert_eq!(sim.thermo_log().len(), 3);
+        assert_eq!(sim.thermo_log()[0].step, 10);
+    }
+
+    #[test]
+    fn builder_rejects_missing_masses() {
+        let mut atoms = AtomStore::new();
+        atoms.push(Vec3::zero(), Vec3::zero(), 0);
+        let err = Simulation::builder(SimBox::cubic(5.0), atoms, UnitSystem::lj())
+            .build()
+            .unwrap_err();
+        // validate() reports the missing mass entry as an unknown atom type.
+        assert!(matches!(err, CoreError::UnknownAtomType { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_dt() {
+        let mut atoms = AtomStore::new();
+        atoms.push(Vec3::zero(), Vec3::zero(), 0);
+        atoms.set_masses(vec![1.0]);
+        let err = Simulation::builder(SimBox::cubic(5.0), atoms, UnitSystem::lj())
+            .dt(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter { name: "dt", .. }));
+    }
+
+    #[test]
+    fn run_report_counts_only_its_own_time() {
+        let mut sim = harmonic_sim();
+        sim.run(20).unwrap();
+        let r = sim.run(20).unwrap();
+        assert_eq!(r.steps, 20);
+        assert!(r.ts_per_sec > 0.0);
+        assert!(r.ledger.total() <= sim.ledger().total());
+    }
+}

@@ -1,0 +1,207 @@
+//! The LAMMPS task taxonomy (Table 1 of the paper) and per-task time ledgers.
+//!
+//! Every phase of a timestep is attributed to one of eight computational
+//! tasks. Both the real engine (wall-clock seconds) and the virtual cluster
+//! (simulated seconds) account their time through [`TaskLedger`], so the
+//! harness can regenerate the runtime-breakdown figures (Figs. 3, 7, 11)
+//! from either source.
+
+use std::time::Instant;
+
+/// The computational tasks of a LAMMPS timestep (paper Table 1).
+///
+/// The variants map onto the steps of the reference timestep structure
+/// (paper Figure 1): `Modify` covers fixes including time integration (II),
+/// `Neigh` is neighbor-list construction (III), `Comm` is inter-processor
+/// exchange (IV), `Pair` is the pairwise potential (V), `Kspace` the
+/// long-range solver (VI), `Bond` the bonded forces (VII), and `Output` the
+/// thermodynamic output (VIII). Everything else is `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum TaskKind {
+    /// Computation of bonded forces.
+    Bond,
+    /// Inter-processor communication of atoms and their properties.
+    Comm,
+    /// Computation of long-range interaction forces.
+    Kspace,
+    /// Fixes and computes invoked by fixes (integration, SHAKE, thermostats).
+    Modify,
+    /// Neighbor-list construction.
+    Neigh,
+    /// Output of thermodynamic info and dump files.
+    Output,
+    /// Computation of the pairwise potential.
+    Pair,
+    /// All other tasks.
+    Other,
+}
+
+impl TaskKind {
+    /// All tasks in the alphabetical order the paper's figure legends use.
+    pub const ALL: [TaskKind; 8] = [
+        TaskKind::Bond,
+        TaskKind::Comm,
+        TaskKind::Kspace,
+        TaskKind::Modify,
+        TaskKind::Neigh,
+        TaskKind::Other,
+        TaskKind::Output,
+        TaskKind::Pair,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Bond => "Bond",
+            TaskKind::Comm => "Comm",
+            TaskKind::Kspace => "Kspace",
+            TaskKind::Modify => "Modify",
+            TaskKind::Neigh => "Neigh",
+            TaskKind::Output => "Output",
+            TaskKind::Pair => "Pair",
+            TaskKind::Other => "Other",
+        }
+    }
+
+    /// Index of this task in [`TaskKind::ALL`].
+    pub fn index(self) -> usize {
+        TaskKind::ALL.iter().position(|&t| t == self).expect("task in ALL")
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated time per task, in seconds (wall-clock or simulated).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskLedger {
+    seconds: [f64; 8],
+}
+
+impl TaskLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        TaskLedger::default()
+    }
+
+    /// Adds `seconds` to `task`.
+    #[inline]
+    pub fn add(&mut self, task: TaskKind, seconds: f64) {
+        self.seconds[task.index()] += seconds;
+    }
+
+    /// Time accumulated for `task`.
+    pub fn seconds(&self, task: TaskKind) -> f64 {
+        self.seconds[task.index()]
+    }
+
+    /// Total time across all tasks.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Percentage share of `task` (0..=100); zero for an empty ledger.
+    pub fn percent(&self, task: TaskKind) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            100.0 * self.seconds(task) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Times a closure and attributes the elapsed wall-clock time to `task`.
+    pub fn time<T>(&mut self, task: TaskKind, body: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = body();
+        self.add(task, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TaskLedger) {
+        for i in 0..8 {
+            self.seconds[i] += other.seconds[i];
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.seconds = [0.0; 8];
+    }
+
+    /// `(task, seconds)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskKind, f64)> + '_ {
+        TaskKind::ALL.iter().map(move |&t| (t, self.seconds(t)))
+    }
+}
+
+impl std::fmt::Display for TaskLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total();
+        write!(f, "total {total:.4}s [")?;
+        let mut first = true;
+        for (t, s) in self.iter() {
+            if s > 0.0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t} {:.1}%", 100.0 * s / total)?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_and_percentages() {
+        let mut l = TaskLedger::new();
+        l.add(TaskKind::Pair, 3.0);
+        l.add(TaskKind::Neigh, 1.0);
+        assert_eq!(l.total(), 4.0);
+        assert_eq!(l.percent(TaskKind::Pair), 75.0);
+        assert_eq!(l.percent(TaskKind::Kspace), 0.0);
+    }
+
+    #[test]
+    fn time_closure_attributes_wall_clock() {
+        let mut l = TaskLedger::new();
+        let out = l.time(TaskKind::Other, || {
+            std::hint::black_box((0..10_000).sum::<u64>())
+        });
+        assert_eq!(out, 49_995_000);
+        assert!(l.seconds(TaskKind::Other) > 0.0);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = TaskLedger::new();
+        a.add(TaskKind::Bond, 1.0);
+        let mut b = TaskLedger::new();
+        b.add(TaskKind::Bond, 2.0);
+        b.add(TaskKind::Comm, 0.5);
+        a.merge(&b);
+        assert_eq!(a.seconds(TaskKind::Bond), 3.0);
+        assert_eq!(a.seconds(TaskKind::Comm), 0.5);
+    }
+
+    #[test]
+    fn all_covers_every_label_once() {
+        let labels: std::collections::HashSet<_> = TaskKind::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn empty_ledger_percent_is_zero() {
+        let l = TaskLedger::new();
+        assert_eq!(l.percent(TaskKind::Pair), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--out DIR] [id ...]
+//! ```
+//!
+//! With no ids, all tables and figures are produced. `--quick` restricts the
+//! sweep to the two smaller sizes; `--out` writes one CSV per figure.
+
+use md_harness::{context::ExperimentContext, figures, tables, Fidelity, Figure};
+use std::path::PathBuf;
+
+fn main() {
+    let mut fidelity = Fidelity::Full;
+    let mut out: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--out" => {
+                out = args.next().map(PathBuf::from);
+                if out.is_none() {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--quick] [--out DIR] [table1 table2 table3 fig03 .. fig16]");
+                return;
+            }
+            id => wanted.push(id.to_string()),
+        }
+    }
+
+    let ctx = ExperimentContext::new(fidelity);
+    let selected = |id: &str| wanted.is_empty() || wanted.iter().any(|w| w == id);
+    let mut produced: Vec<Figure> = Vec::new();
+
+    if selected("table1") {
+        produced.push(tables::table1());
+    }
+    if selected("table2") {
+        match tables::table2(&ctx) {
+            Ok(f) => produced.push(f),
+            Err(e) => eprintln!("table2 failed: {e}"),
+        }
+    }
+    if selected("table3") {
+        produced.push(tables::table3());
+    }
+    for (id, gen) in figures::GENERATORS {
+        if selected(id) {
+            eprintln!("[figures] generating {id} ...");
+            match gen(&ctx) {
+                Ok(f) => produced.push(f),
+                Err(e) => eprintln!("{id} failed: {e}"),
+            }
+        }
+    }
+
+    for fig in &produced {
+        println!("{fig}");
+        println!();
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{}.csv", fig.id));
+            if let Err(e) = fig.table.write_csv(&path) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[figures] wrote {}", path.display());
+            }
+        }
+    }
+}

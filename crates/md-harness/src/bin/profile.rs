@@ -1,0 +1,77 @@
+//! The paper's Figure-2 "profiling experiment" mode on the *real* engine:
+//! run every benchmark deck for a fixed number of steps on this host and
+//! report the wall-clock task breakdowns, neighbor statistics, and
+//! thermodynamic sanity — the measured counterpart of the modeled Figure 3.
+//!
+//! ```text
+//! cargo run --release -p md-harness --bin profile [--steps N]
+//! ```
+
+use md_core::TaskKind;
+use md_harness::render::{fnum, TextTable};
+use md_workloads::{build_deck, Benchmark};
+
+fn main() {
+    let mut steps: u64 = 20;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--steps" {
+            steps = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--steps requires a number");
+                    std::process::exit(2);
+                });
+        }
+    }
+
+    let mut header: Vec<String> = vec![
+        "benchmark".into(),
+        "TS/s (host)".into(),
+        "nbr/atom".into(),
+        "rebuilds".into(),
+    ];
+    header.extend(TaskKind::ALL.iter().map(|t| format!("{t} %")));
+    let mut table = TextTable::new(header);
+
+    for bench in Benchmark::ALL {
+        eprint!("[profile] {bench}: building ... ");
+        let mut deck = match build_deck(bench, 1, 2022) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("failed: {e}");
+                continue;
+            }
+        };
+        eprint!("running {steps} steps ... ");
+        let report = match deck.simulation.run(steps) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("failed: {e}");
+                continue;
+            }
+        };
+        eprintln!("{:.1} TS/s", report.ts_per_sec);
+        let nbr = deck
+            .simulation
+            .neighbor_list()
+            .map_or(0.0, |n| n.stats().neighbors_within_cutoff);
+        let mut row = vec![
+            bench.to_string(),
+            fnum(report.ts_per_sec),
+            fnum(nbr),
+            report.neighbor_builds.to_string(),
+        ];
+        row.extend(
+            TaskKind::ALL
+                .iter()
+                .map(|&t| fnum(report.ledger.percent(t))),
+        );
+        table.row(row);
+    }
+
+    println!("\n== Real-engine task profile, 32k decks, {steps} steps each ==");
+    println!("(host wall clock on this machine; the paper's Xeon 8358 sweep is `figures fig03`)\n");
+    println!("{table}");
+}

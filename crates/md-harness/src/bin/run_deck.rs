@@ -1,0 +1,131 @@
+//! Runs a real benchmark deck on the actual engine — the "profiling
+//! experiment" path of the paper's framework (their Figure 2 A).
+//!
+//! ```text
+//! run_deck <benchmark> [--steps N] [--scale S] [--thermo N]
+//!          [--dump traj.xyz] [--write-data out.data]
+//! ```
+
+use md_core::TaskKind;
+use md_workloads::io::{write_data, AtomStyle, XyzDump};
+use md_workloads::{build_deck, Benchmark};
+use std::path::PathBuf;
+
+struct Args {
+    benchmark: Benchmark,
+    steps: u64,
+    scale: usize,
+    thermo: u64,
+    dump: Option<PathBuf>,
+    write_data_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let bench_name = args.next().ok_or_else(|| {
+        "usage: run_deck <lj|chain|eam|chute|rhodo> [--steps N] [--scale S] \
+         [--thermo N] [--dump FILE] [--write-data FILE]"
+            .to_string()
+    })?;
+    let benchmark = Benchmark::parse(&bench_name).map_err(|e| e.to_string())?;
+    let mut out = Args {
+        benchmark,
+        steps: 100,
+        scale: 1,
+        thermo: 20,
+        dump: None,
+        write_data_path: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--steps" => out.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => out.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--thermo" => out.thermo = value("--thermo")?.parse().map_err(|e| format!("{e}"))?,
+            "--dump" => out.dump = Some(PathBuf::from(value("--dump")?)),
+            "--write-data" => out.write_data_path = Some(PathBuf::from(value("--write-data")?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut deck = match build_deck(args.benchmark, args.scale, 2022) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("deck construction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "running {} at scale {} ({} atoms), {} steps",
+        args.benchmark,
+        args.scale,
+        deck.simulation.atoms().len(),
+        args.steps
+    );
+    let mut dump = args.dump.as_deref().map(|p| {
+        XyzDump::create(p).unwrap_or_else(|e| {
+            eprintln!("cannot create dump: {e}");
+            std::process::exit(1);
+        })
+    });
+    println!("{}", deck.simulation.thermo());
+    let mut done = 0u64;
+    while done < args.steps {
+        let burst = args.thermo.max(1).min(args.steps - done);
+        if let Err(e) = deck.simulation.run(burst) {
+            eprintln!("step failed: {e}");
+            std::process::exit(1);
+        }
+        done += burst;
+        println!("{}", deck.simulation.thermo());
+        if let Some(d) = dump.as_mut() {
+            if let Err(e) = d.write_frame(deck.simulation.atoms(), deck.simulation.step_index()) {
+                eprintln!("dump failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("\ntask breakdown (Table 1 taxonomy):");
+    let ledger = deck.simulation.ledger();
+    for task in TaskKind::ALL {
+        let pct = ledger.percent(task);
+        if pct > 0.05 {
+            println!("  {:<8} {:>5.1}%", task.label(), pct);
+        }
+    }
+    if let Some(nl) = deck.simulation.neighbor_list() {
+        let s = nl.stats();
+        println!(
+            "neighbor list: {} builds, {:.1} stored nbr/atom, {:.1} within cutoff",
+            s.builds, s.neighbors_per_atom, s.neighbors_within_cutoff
+        );
+    }
+    if let Some(path) = &args.write_data_path {
+        let style = if args.benchmark == Benchmark::Rhodo {
+            AtomStyle::Full
+        } else {
+            AtomStyle::Atomic
+        };
+        let bx = *deck.simulation.sim_box();
+        if let Err(e) = write_data(path, &bx, deck.simulation.atoms(), style) {
+            eprintln!("write-data failed: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote restartable data file to {}", path.display());
+    }
+    if let Some(d) = &dump {
+        println!("wrote {} trajectory frames", d.frames());
+    }
+}

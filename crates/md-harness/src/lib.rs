@@ -1,0 +1,49 @@
+//! # md-harness — the characterization harness
+//!
+//! Regenerates every table and figure of *"Characterizing Molecular Dynamics
+//! Simulation on Commodity Platforms"* (IISWC 2022) from this repository's
+//! engine + instance models. The structure mirrors the paper's automation
+//! framework (their Figure 2): a *profiling* path measures real engine runs
+//! (workload profiles, task ledgers), a *benchmarking* path sweeps the
+//! parameter space through the calibrated CPU/GPU instance models, and a
+//! renderer emits aligned text tables plus CSV files.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use md_harness::{ExperimentContext, Fidelity};
+//!
+//! # fn main() -> Result<(), md_core::CoreError> {
+//! let ctx = ExperimentContext::new(Fidelity::Quick);
+//! let fig = md_harness::figures::fig06(&ctx)?;
+//! println!("{}", fig);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod context;
+pub mod figures;
+pub mod render;
+pub mod tables;
+
+pub use context::{ExperimentContext, Fidelity};
+pub use render::TextTable;
+
+/// One regenerated table or figure: an id (`fig06`, `table2`), the caption,
+/// and the data series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Stable identifier used for CSV filenames.
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// The data, one row per plotted point.
+    pub table: TextTable,
+}
+
+impl std::fmt::Display for Figure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ==", self.caption)?;
+        write!(f, "{}", self.table)
+    }
+}

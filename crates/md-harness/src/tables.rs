@@ -1,0 +1,158 @@
+//! The paper's three tables.
+
+use crate::context::ExperimentContext;
+use crate::render::{fnum, TextTable};
+use crate::Figure;
+use md_core::Result;
+use md_core::TaskKind;
+use md_model::Instance;
+use md_workloads::{Benchmark, TAXONOMY};
+
+/// Table 1: the computational tasks of a LAMMPS timestep.
+pub fn table1() -> Figure {
+    let mut t = TextTable::new(["Task", "Step", "Description"]);
+    let rows: [(&str, &str, &str); 8] = [
+        ("Bond", "VII", "Computation of bonded forces"),
+        ("Comm", "IV", "Inter-processor communication of atoms and their properties"),
+        ("Kspace", "VI", "Computation of long-range interaction forces"),
+        ("Modify", "II", "Fixes and computes invoked by fixes"),
+        ("Neigh", "III", "Neighbor list construction"),
+        ("Output", "VIII", "Output of thermodynamic info and dump files"),
+        ("Pair", "V", "Computation of pairwise potential"),
+        ("Other", "-", "All other tasks"),
+    ];
+    for (task, step, desc) in rows {
+        t.row([task, step, desc]);
+    }
+    debug_assert_eq!(TaskKind::ALL.len(), 8);
+    Figure {
+        id: "table1".to_string(),
+        caption: "Table 1: steps of a LAMMPS simulation (task taxonomy)".to_string(),
+        table: t,
+    }
+}
+
+/// Table 2: suite characteristics — the static deck parameters plus the
+/// *measured* neighbors/atom of this implementation next to the paper's.
+///
+/// # Errors
+///
+/// Propagates profiling failures.
+pub fn table2(ctx: &ExperimentContext) -> Result<Figure> {
+    let mut t = TextTable::new([
+        "Benchmark",
+        "Min atoms",
+        "Force field",
+        "Cutoff",
+        "Neighbor skin",
+        "Nbr/atom (paper)",
+        "Nbr/atom (measured)",
+        "pair_modify",
+        "kspace_style",
+        "Kspace error",
+        "Integration",
+    ]);
+    for info in TAXONOMY {
+        let bench = Benchmark::parse(info.benchmark)?;
+        let measured = ctx.profile(bench)?.cutoff_neighbors;
+        t.row([
+            info.benchmark.to_string(),
+            format!("{}k", info.min_atoms / 1000),
+            info.force_field.to_string(),
+            info.cutoff.to_string(),
+            info.neighbor_skin.to_string(),
+            fnum(info.neighbors_per_atom),
+            fnum(measured),
+            info.pair_modify.to_string(),
+            info.kspace_style.to_string(),
+            info.kspace_error.to_string(),
+            info.integration.to_string(),
+        ]);
+    }
+    Ok(Figure {
+        id: "table2".to_string(),
+        caption: "Table 2: main characteristics of the benchmark suite".to_string(),
+        table: t,
+    })
+}
+
+/// Table 3: the two evaluation instances.
+pub fn table3() -> Figure {
+    let mut t = TextTable::new(["Spec", "CPU Inst.", "GPU Inst."]);
+    let c = Instance::cpu_instance();
+    let g = Instance::gpu_instance();
+    let gg = g.gpu.expect("gpu instance has devices");
+    t.row(["CPU", c.cpu.model, g.cpu.model]);
+    t.row([
+        "Cores".to_string(),
+        c.cpu.cores.to_string(),
+        g.cpu.cores.to_string(),
+    ]);
+    t.row([
+        "Threads".to_string(),
+        c.cpu.threads.to_string(),
+        g.cpu.threads.to_string(),
+    ]);
+    t.row([
+        "Freq (turbo)".to_string(),
+        format!("{} GHz ({} GHz)", c.cpu.freq_ghz, c.cpu.turbo_ghz),
+        format!("{} GHz ({} GHz)", g.cpu.freq_ghz, g.cpu.turbo_ghz),
+    ]);
+    t.row([
+        "L1 / L2 / L3".to_string(),
+        format!("{} KB / {} KB / {} MB", c.cpu.l1_kib, c.cpu.l2_kib, c.cpu.l3_mib),
+        format!("{} KB / {} KB / {} MB", g.cpu.l1_kib, g.cpu.l2_kib, g.cpu.l3_mib),
+    ]);
+    t.row([
+        "CPU TDP".to_string(),
+        format!("{} W", c.cpu.tdp_w),
+        format!("{} W", g.cpu.tdp_w),
+    ]);
+    t.row([
+        "Sockets".to_string(),
+        c.sockets.to_string(),
+        g.sockets.to_string(),
+    ]);
+    t.row([
+        "Memory".to_string(),
+        format!("{} GB DDR4", c.memory_gib),
+        format!("{} GB DDR4", g.memory_gib),
+    ]);
+    t.row(["GPU", "-", gg.model]);
+    t.row(["GPU count".to_string(), "-".to_string(), g.gpus.to_string()]);
+    t.row(["SMs".to_string(), "-".to_string(), gg.sms.to_string()]);
+    t.row([
+        "GPU memory".to_string(),
+        "-".to_string(),
+        format!("{} GB HBM", gg.memory_gib),
+    ]);
+    t.row([
+        "GPU TDP".to_string(),
+        "-".to_string(),
+        format!("{} W", gg.tdp_w),
+    ]);
+    Figure {
+        id: "table3".to_string(),
+        caption: "Table 3: CPU and GPU instance descriptions".to_string(),
+        table: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_eight_tasks() {
+        let f = table1();
+        assert_eq!(f.table.len(), 8);
+    }
+
+    #[test]
+    fn table3_reports_both_instances() {
+        let f = table3();
+        let s = f.table.to_string();
+        assert!(s.contains("8358"));
+        assert!(s.contains("V100"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # md-kspace — long-range Coulomb solvers
+//!
+//! The Rhodopsin benchmark computes long-range electrostatics with PPPM
+//! (particle-particle particle-mesh) at a relative force-error threshold of
+//! 1e-4 — and the paper's Section 7 studies what happens when that threshold
+//! tightens to 1e-7. This crate implements the full stack from scratch:
+//!
+//! * [`Complex`] arithmetic and an iterative radix-2 [`Fft3d`],
+//! * the classic [`Ewald`] summation (the O(N^{3/2}) reference solver),
+//! * [`Pppm`] with B-spline charge assignment, FFT convolution with the
+//!   deconvolved Green's function, and ik-differentiated forces,
+//! * the LAMMPS-style [`accuracy`] model that turns a relative error
+//!   threshold into a splitting parameter and an FFT mesh size — the
+//!   quantity the paper's error-threshold sensitivity study sweeps.
+//!
+//! Both solvers implement [`md_core::KspaceStyle`] and pair with the
+//! real-space `erfc` term of `md-potentials`' `lj/charmm/coul/long`.
+
+pub mod accuracy;
+pub mod complex;
+pub mod ewald;
+pub mod fft;
+pub mod pppm;
+
+pub use accuracy::KspaceAccuracy;
+pub use complex::Complex;
+pub use ewald::Ewald;
+pub use fft::Fft3d;
+pub use pppm::Pppm;

@@ -1,0 +1,489 @@
+//! Particle-particle particle-mesh (LAMMPS `kspace_style pppm`).
+//!
+//! The long-range Coulomb contribution is computed by (1) spreading charges
+//! onto a regular mesh with cardinal B-spline weights, (2) a forward 3D FFT,
+//! (3) multiplication with the deconvolved Green's function
+//! `4π exp(-k²/4g²)/k² · B(m)` (Essmann-style `B(m) = |b_x b_y b_z|²`
+//! compensates the two B-spline smoothings), (4) ik-differentiation into
+//! three field meshes and three inverse FFTs, and (5) interpolation of the
+//! field back to the particles with the same weights — the
+//! `make_rho` / `particle_map` / FFT / `interp` kernel structure the paper's
+//! Figure 8 shows dominating the Rhodopsin GPU profile.
+
+use crate::accuracy::KspaceAccuracy;
+use crate::complex::Complex;
+use crate::fft::{Direction, Fft3d};
+use md_core::force::KspaceStats;
+use md_core::{CoreError, EnergyVirial, KspaceStyle, Result, SimBox, Vec3, V3};
+
+/// Maximum supported assignment order (matches [`crate::accuracy::MAX_ORDER`]).
+const MAX_ORDER: usize = 5;
+
+/// The PPPM solver.
+#[derive(Debug, Clone)]
+pub struct Pppm {
+    cutoff: f64,
+    relative_error: f64,
+    order: usize,
+    g_ewald: f64,
+    grid: [usize; 3],
+    fft: Option<Fft3d>,
+    /// Green's function `A(k) · B(m)` per mesh point (zero at m = 0 and at
+    /// deconvolution singularities).
+    green: Vec<f64>,
+    /// Wavevector per mesh point and dimension.
+    kvec: Vec<V3>,
+    qsqsum: f64,
+    qsum: f64,
+    estimated_error: f64,
+    qqr2e: f64,
+    /// Scratch meshes.
+    rho: Vec<Complex>,
+    field: [Vec<Complex>; 3],
+}
+
+impl Pppm {
+    /// Creates a PPPM solver with assignment `order` (1..=5; LAMMPS default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive cutoff, a relative error outside `(0, 1)`,
+    /// or an unsupported order.
+    pub fn new(cutoff: f64, relative_error: f64, order: usize) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        assert!(
+            relative_error > 0.0 && relative_error < 1.0,
+            "relative error must be in (0, 1)"
+        );
+        assert!(
+            (1..=MAX_ORDER).contains(&order),
+            "assignment order must be 1..={MAX_ORDER}"
+        );
+        Pppm {
+            cutoff,
+            relative_error,
+            order,
+            g_ewald: 0.0,
+            grid: [0; 3],
+            fft: None,
+            green: Vec::new(),
+            kvec: Vec::new(),
+            qsqsum: 0.0,
+            qsum: 0.0,
+            estimated_error: 0.0,
+            qqr2e: 1.0,
+            rho: Vec::new(),
+            field: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Sets the Coulomb conversion constant of the unit system.
+    pub fn set_qqr2e(&mut self, qqr2e: f64) {
+        self.qqr2e = qqr2e;
+    }
+
+    /// The splitting parameter chosen at setup.
+    pub fn g_ewald(&self) -> f64 {
+        self.g_ewald
+    }
+
+    /// Mesh dimensions chosen at setup.
+    pub fn grid(&self) -> [usize; 3] {
+        self.grid
+    }
+
+    /// Evaluates the `order` B-spline weights of a particle at fractional
+    /// mesh coordinate `u` (in units of mesh cells). Returns the leftmost
+    /// mesh index and the weights.
+    fn bspline_weights(&self, u: f64) -> (i64, [f64; MAX_ORDER]) {
+        let n = self.order;
+        let k0 = u.floor() as i64;
+        let mut w = [0.0f64; MAX_ORDER];
+        // Mesh points p = k0 - n + 1 + j for j in 0..n; weight M_n(u - p).
+        for (j, wj) in w.iter_mut().enumerate().take(n) {
+            let p = k0 - n as i64 + 1 + j as i64;
+            *wj = bspline(n, u - p as f64);
+        }
+        (k0 - n as i64 + 1, w)
+    }
+}
+
+/// Cardinal B-spline `M_n(x)` with support `(0, n)`.
+fn bspline(n: usize, x: f64) -> f64 {
+    if x <= 0.0 || x >= n as f64 {
+        return 0.0;
+    }
+    if n == 1 {
+        return 1.0; // box function on (0, 1)
+    }
+    if n == 2 {
+        return 1.0 - (x - 1.0).abs();
+    }
+    let nm1 = (n - 1) as f64;
+    (x / nm1) * bspline(n - 1, x) + ((n as f64 - x) / nm1) * bspline(n - 1, x - 1.0)
+}
+
+/// Essmann `|b(m)|²` deconvolution factor for one dimension.
+fn bmod2(n_order: usize, m: usize, mesh: usize) -> f64 {
+    // D(m) = Σ_{j=0}^{n-2} M_n(j+1) e^{2πi m j / K}; |b(m)|² = 1/|D|².
+    let mut d = Complex::ZERO;
+    for j in 0..=(n_order.saturating_sub(2)) {
+        let w = bspline(n_order, (j + 1) as f64);
+        d += Complex::cis(2.0 * std::f64::consts::PI * (m * j) as f64 / mesh as f64).scale(w);
+    }
+    let d2 = d.norm2();
+    if d2 < 1e-10 {
+        0.0 // singular mode (even orders at the Nyquist frequency)
+    } else {
+        1.0 / d2
+    }
+}
+
+impl KspaceStyle for Pppm {
+    fn name(&self) -> &'static str {
+        "pppm"
+    }
+
+    fn setup(&mut self, bx: &SimBox, q: &[f64]) -> Result<()> {
+        let natoms = q.len();
+        let qsqsum: f64 = q.iter().map(|&qi| qi * qi).sum();
+        if qsqsum <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "charges",
+                reason: "pppm requires a charged system".to_string(),
+            });
+        }
+        let l = bx.lengths();
+        let acc = KspaceAccuracy::resolve(
+            self.cutoff,
+            self.relative_error,
+            natoms,
+            qsqsum,
+            [l.x, l.y, l.z],
+            self.order,
+        )?;
+        self.g_ewald = acc.g_ewald;
+        // The accuracy model sizes 2·3·5-smooth meshes (as LAMMPS does);
+        // this solver's radix-2 FFT rounds each dimension up to a power of
+        // two, which only tightens the realized accuracy.
+        self.grid = acc.grid.map(crate::fft::next_pow2);
+        self.estimated_error = acc.error_kspace.max(acc.error_real);
+        self.qsqsum = qsqsum;
+        self.qsum = q.iter().sum();
+        let (nx, ny, nz) = (self.grid[0], self.grid[1], self.grid[2]);
+        let fft = Fft3d::new(nx, ny, nz)?;
+        let len = fft.len();
+
+        // Precompute Green's function and wavevectors.
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let g2inv4 = 1.0 / (4.0 * self.g_ewald * self.g_ewald);
+        let mut green = vec![0.0; len];
+        let mut kvec = vec![Vec3::zero(); len];
+        let bx2: Vec<f64> = (0..nx).map(|m| bmod2(self.order, m, nx)).collect();
+        let by2: Vec<f64> = (0..ny).map(|m| bmod2(self.order, m, ny)).collect();
+        let bz2: Vec<f64> = (0..nz).map(|m| bmod2(self.order, m, nz)).collect();
+        for iz in 0..nz {
+            let mz = if iz > nz / 2 { iz as i64 - nz as i64 } else { iz as i64 };
+            for iy in 0..ny {
+                let my = if iy > ny / 2 { iy as i64 - ny as i64 } else { iy as i64 };
+                for ix in 0..nx {
+                    let mx = if ix > nx / 2 { ix as i64 - nx as i64 } else { ix as i64 };
+                    let idx = fft.index(ix, iy, iz);
+                    if mx == 0 && my == 0 && mz == 0 {
+                        continue;
+                    }
+                    let k = Vec3::new(
+                        two_pi * mx as f64 / l.x,
+                        two_pi * my as f64 / l.y,
+                        two_pi * mz as f64 / l.z,
+                    );
+                    let k2 = k.norm2();
+                    let a = (-k2 * g2inv4).exp() / k2;
+                    green[idx] = a * bx2[ix] * by2[iy] * bz2[iz];
+                    kvec[idx] = k;
+                }
+            }
+        }
+        self.green = green;
+        self.kvec = kvec;
+        self.rho = vec![Complex::ZERO; len];
+        self.field = [
+            vec![Complex::ZERO; len],
+            vec![Complex::ZERO; len],
+            vec![Complex::ZERO; len],
+        ];
+        self.fft = Some(fft);
+        Ok(())
+    }
+
+    fn compute(&mut self, bx: &SimBox, x: &[V3], q: &[f64], f: &mut [V3]) -> EnergyVirial {
+        let Some(fft) = self.fft.clone().into() else {
+            return EnergyVirial::default();
+        };
+        let mut fft: Fft3d = fft;
+        let (nx, ny, nz) = fft.dims();
+        let l = bx.lengths();
+        let lo = bx.lo();
+        let volume = bx.volume();
+        let n_atoms = x.len();
+
+        // 1. Charge assignment ("make_rho" + "particle_map").
+        for z in &mut self.rho {
+            *z = Complex::ZERO;
+        }
+        let order = self.order;
+        let mut bases: Vec<[i64; 3]> = Vec::with_capacity(n_atoms);
+        let mut weights: Vec<[[f64; MAX_ORDER]; 3]> = Vec::with_capacity(n_atoms);
+        for i in 0..n_atoms {
+            let mut base = [0i64; 3];
+            let mut w3 = [[0.0; MAX_ORDER]; 3];
+            for d in 0..3 {
+                let frac = ((x[i][d] - lo[d]) / l[d]).rem_euclid(1.0);
+                let u = frac * self.grid[d] as f64;
+                let (b, w) = self.bspline_weights(u);
+                base[d] = b;
+                w3[d] = w;
+            }
+            bases.push(base);
+            weights.push(w3);
+            for jz in 0..order {
+                let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
+                for jy in 0..order {
+                    let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
+                    let wzy = weights[i][2][jz] * weights[i][1][jy] * q[i];
+                    for jx in 0..order {
+                        let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
+                        self.rho[fft.index(gx, gy, gz)].re += wzy * weights[i][0][jx];
+                    }
+                }
+            }
+        }
+
+        // 2. Forward FFT.
+        fft.transform(&mut self.rho, Direction::Forward)
+            .expect("mesh allocated at setup");
+
+        // 3. Energy and field meshes in k-space.
+        let mut energy = 0.0;
+        let len = fft.len();
+        for idx in 0..len {
+            let g = self.green[idx];
+            if g == 0.0 {
+                self.field[0][idx] = Complex::ZERO;
+                self.field[1][idx] = Complex::ZERO;
+                self.field[2][idx] = Complex::ZERO;
+                continue;
+            }
+            let r = self.rho[idx];
+            energy += g * r.norm2();
+            // F̂_d = -i k_d A B ρ̂.
+            let minus_i_rho = Complex::new(r.im, -r.re); // -i * rho
+            let k = self.kvec[idx];
+            self.field[0][idx] = minus_i_rho.scale(g * k.x);
+            self.field[1][idx] = minus_i_rho.scale(g * k.y);
+            self.field[2][idx] = minus_i_rho.scale(g * k.z);
+        }
+
+        // 4. Three inverse FFTs (un-normalized: multiply back by mesh size).
+        for d in 0..3 {
+            fft.transform(&mut self.field[d], Direction::Inverse)
+                .expect("mesh allocated at setup");
+        }
+        let scale_back = len as f64;
+
+        // 5. Interpolate the field to the particles ("interp").
+        let force_pref = self.qqr2e * 4.0 * std::f64::consts::PI / volume * scale_back;
+        for i in 0..n_atoms {
+            let base = bases[i];
+            let w3 = &weights[i];
+            let mut e_at = Vec3::zero();
+            for jz in 0..order {
+                let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
+                for jy in 0..order {
+                    let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
+                    let wzy = w3[2][jz] * w3[1][jy];
+                    for jx in 0..order {
+                        let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
+                        let w = wzy * w3[0][jx];
+                        let idx = fft.index(gx, gy, gz);
+                        e_at.x += w * self.field[0][idx].re;
+                        e_at.y += w * self.field[1][idx].re;
+                        e_at.z += w * self.field[2][idx].re;
+                    }
+                }
+            }
+            f[i] += e_at * (force_pref * q[i]);
+        }
+        self.fft = Some(fft);
+
+        // Energy: (2π/V)Σ A B |ρ̂|², plus self/background corrections.
+        let two_pi_over_v = 2.0 * std::f64::consts::PI / volume;
+        let self_e = -self.g_ewald / std::f64::consts::PI.sqrt() * self.qsqsum;
+        let background = -std::f64::consts::PI / (2.0 * volume * self.g_ewald * self.g_ewald)
+            * self.qsum
+            * self.qsum;
+        let e_recip = two_pi_over_v * energy;
+        EnergyVirial {
+            evdwl: 0.0,
+            ecoul: self.qqr2e * (e_recip + self_e + background),
+            virial: self.qqr2e * e_recip,
+        }
+    }
+
+    fn stats(&self) -> KspaceStats {
+        KspaceStats {
+            grid: self.grid,
+            grid_points: self.grid.iter().product(),
+            g_ewald: self.g_ewald,
+            estimated_error: self.estimated_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewald::Ewald;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_neutral_system(n: usize, l: f64, seed: u64) -> (SimBox, Vec<V3>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bx = SimBox::cubic(l);
+        let x: Vec<V3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (bx, x, q)
+    }
+
+    #[test]
+    fn bspline_partition_of_unity() {
+        let p = Pppm::new(5.0, 1e-4, 5);
+        for k in 0..50 {
+            let u = 0.02 * k as f64 * 7.3 + 0.01;
+            let (_, w) = p.bspline_weights(u);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "u = {u}, sum = {sum}");
+            assert!(w.iter().all(|&wi| wi >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bspline_orders_integrate_to_one() {
+        for n in 1..=5usize {
+            let steps = 20_000;
+            let h = n as f64 / steps as f64;
+            let integral: f64 = (0..steps).map(|i| bspline(n, (i as f64 + 0.5) * h) * h).sum();
+            assert!((integral - 1.0).abs() < 1e-4, "order {n}: {integral}");
+        }
+    }
+
+    #[test]
+    fn pppm_energy_matches_ewald() {
+        let (bx, x, q) = random_neutral_system(64, 12.0, 11);
+        let mut ewald = Ewald::new(5.9, 1e-6);
+        ewald.setup(&bx, &q).unwrap();
+        let mut fe = vec![Vec3::zero(); x.len()];
+        let ee = ewald.compute(&bx, &x, &q, &mut fe);
+
+        let mut pppm = Pppm::new(5.9, 1e-5, 5);
+        pppm.setup(&bx, &q).unwrap();
+        let mut fp = vec![Vec3::zero(); x.len()];
+        let ep = pppm.compute(&bx, &x, &q, &mut fp);
+
+        // Same splitting parameter (same cutoff/accuracy family): the recip
+        // energies are directly comparable after aligning g. Compare totals
+        // loosely since g differs slightly between the two accuracy targets.
+        let rel = (ep.ecoul - ee.ecoul).abs() / ee.ecoul.abs();
+        assert!(rel < 0.05, "PPPM {} vs Ewald {} (rel {rel})", ep.ecoul, ee.ecoul);
+    }
+
+    #[test]
+    fn pppm_forces_match_ewald_forces() {
+        let (bx, x, q) = random_neutral_system(32, 10.0, 3);
+        // Force a common g by using the same accuracy and cutoff.
+        let mut ewald = Ewald::new(4.9, 1e-6);
+        ewald.setup(&bx, &q).unwrap();
+        let mut fe = vec![Vec3::zero(); x.len()];
+        ewald.compute(&bx, &x, &q, &mut fe);
+
+        let mut pppm = Pppm::new(4.9, 1e-6, 5);
+        pppm.setup(&bx, &q).unwrap();
+        let mut fp = vec![Vec3::zero(); x.len()];
+        pppm.compute(&bx, &x, &q, &mut fp);
+
+        // Compare per-atom forces; require small relative RMS deviation.
+        // g_ewald matches exactly (same formula inputs), so the recip sums
+        // target the same quantity.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..x.len() {
+            num += (fp[i] - fe[i]).norm2();
+            den += fe[i].norm2();
+        }
+        let rel = (num / den).sqrt();
+        assert!(rel < 0.02, "relative force deviation {rel}");
+    }
+
+    #[test]
+    fn pppm_accuracy_improves_with_threshold() {
+        let (bx, x, q) = random_neutral_system(48, 11.0, 8);
+        let mut reference = Ewald::new(5.4, 1e-7);
+        reference.setup(&bx, &q).unwrap();
+        let mut f_ref = vec![Vec3::zero(); x.len()];
+        reference.compute(&bx, &x, &q, &mut f_ref);
+        let rms_ref: f64 =
+            (f_ref.iter().map(|v| v.norm2()).sum::<f64>() / x.len() as f64).sqrt();
+
+        let mut errors = Vec::new();
+        for acc in [1e-3, 1e-5] {
+            let mut pppm = Pppm::new(5.4, acc, 5);
+            pppm.setup(&bx, &q).unwrap();
+            let mut fp = vec![Vec3::zero(); x.len()];
+            pppm.compute(&bx, &x, &q, &mut fp);
+            let rms_err: f64 = (fp
+                .iter()
+                .zip(&f_ref)
+                .map(|(a, b)| (*a - *b).norm2())
+                .sum::<f64>()
+                / x.len() as f64)
+                .sqrt();
+            errors.push(rms_err / rms_ref);
+        }
+        assert!(
+            errors[1] < errors[0],
+            "tighter threshold should reduce error: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn pppm_net_force_is_small() {
+        let (bx, x, q) = random_neutral_system(40, 9.0, 5);
+        let mut pppm = Pppm::new(4.4, 1e-5, 5);
+        pppm.setup(&bx, &q).unwrap();
+        let mut f = vec![Vec3::zero(); x.len()];
+        pppm.compute(&bx, &x, &q, &mut f);
+        let net = f.iter().fold(Vec3::zero(), |a, &b| a + b);
+        let scale: f64 = f.iter().map(|v| v.norm()).sum::<f64>() / x.len() as f64;
+        assert!(net.norm() < 1e-6 * scale.max(1.0), "net force {net}");
+    }
+
+    #[test]
+    fn setup_sizes_grid_from_threshold() {
+        let (bx, _, q) = random_neutral_system(64, 12.0, 2);
+        let mut coarse = Pppm::new(5.9, 1e-4, 5);
+        coarse.setup(&bx, &q).unwrap();
+        let mut tight = Pppm::new(5.9, 1e-7, 5);
+        tight.setup(&bx, &q).unwrap();
+        let gp = |p: &Pppm| p.grid().iter().product::<usize>();
+        assert!(gp(&tight) > gp(&coarse));
+    }
+
+    #[test]
+    fn rejects_chargeless_system() {
+        let bx = SimBox::cubic(10.0);
+        let mut pppm = Pppm::new(4.0, 1e-4, 5);
+        assert!(pppm.setup(&bx, &[0.0; 8]).is_err());
+    }
+}

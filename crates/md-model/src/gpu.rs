@@ -1,0 +1,540 @@
+//! The GPU-instance model: 8× V100 with the LAMMPS GPU package's offload
+//! structure.
+//!
+//! Per the reference package (paper Section 6): each MPI rank owns a
+//! subdomain and offloads neighbor build, pair forces, and (for Rhodopsin)
+//! the PPPM mesh kernels to its assigned device; several ranks time-multiplex
+//! one device; positions go host→device and forces device→host every step;
+//! fixes (SHAKE!), bonded forces, the FFT, and MPI communication stay on the
+//! host. This is exactly the data-movement-bound structure whose breakdown
+//! the paper's Figures 7–9 and 13 characterize.
+
+use crate::calib;
+use crate::workload::WorkloadProfile;
+use md_core::{PrecisionMode, Result, SimBox, TaskKind, TaskLedger};
+use md_parallel::{Decomposition, WorkloadCensus};
+use md_workloads::Benchmark;
+
+/// GPU kernels and data-movement primitives of the paper's Figure 8 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum KernelKind {
+    /// `[CUDA memcpy DtoH]`.
+    MemcpyDtoH,
+    /// `[CUDA memcpy HtoD]`.
+    MemcpyHtoD,
+    /// `[CUDA memset]`.
+    Memset,
+    /// `calc_neigh_list_cell`.
+    CalcNeighListCell,
+    /// `k_lj_fast`.
+    KLjFast,
+    /// `kernel_info`.
+    KernelInfo,
+    /// `kernel_special`.
+    KernelSpecial,
+    /// `kernel_zero`.
+    KernelZero,
+    /// `transpose`.
+    Transpose,
+    /// `k_eam_fast`.
+    KEamFast,
+    /// `k_energy_fast`.
+    KEnergyFast,
+    /// `interp`.
+    Interp,
+    /// `k_charmm_long`.
+    KCharmmLong,
+    /// `make_rho`.
+    MakeRho,
+    /// `particle_map`.
+    ParticleMap,
+}
+
+impl KernelKind {
+    /// All kernels in the paper's legend order.
+    pub const ALL: [KernelKind; 15] = [
+        KernelKind::MemcpyDtoH,
+        KernelKind::MemcpyHtoD,
+        KernelKind::Memset,
+        KernelKind::CalcNeighListCell,
+        KernelKind::KLjFast,
+        KernelKind::KernelInfo,
+        KernelKind::KernelSpecial,
+        KernelKind::KernelZero,
+        KernelKind::Transpose,
+        KernelKind::KEamFast,
+        KernelKind::KEnergyFast,
+        KernelKind::Interp,
+        KernelKind::KCharmmLong,
+        KernelKind::MakeRho,
+        KernelKind::ParticleMap,
+    ];
+
+    /// Legend label matching the paper's Figure 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::MemcpyDtoH => "[CUDA memcpy DtoH]",
+            KernelKind::MemcpyHtoD => "[CUDA memcpy HtoD]",
+            KernelKind::Memset => "[CUDA memset]",
+            KernelKind::CalcNeighListCell => "calc_neigh_list_cell",
+            KernelKind::KLjFast => "k_lj_fast",
+            KernelKind::KernelInfo => "kernel_info",
+            KernelKind::KernelSpecial => "kernel_special",
+            KernelKind::KernelZero => "kernel_zero",
+            KernelKind::Transpose => "transpose",
+            KernelKind::KEamFast => "k_eam_fast",
+            KernelKind::KEnergyFast => "k_energy_fast",
+            KernelKind::Interp => "interp",
+            KernelKind::KCharmmLong => "k_charmm_long",
+            KernelKind::MakeRho => "make_rho",
+            KernelKind::ParticleMap => "particle_map",
+        }
+    }
+
+    fn index(self) -> usize {
+        KernelKind::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Seconds of device activity per kernel (one device, one step).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelLedger {
+    seconds: [f64; 15],
+}
+
+impl KernelLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        KernelLedger::default()
+    }
+
+    /// Adds time to a kernel.
+    pub fn add(&mut self, kind: KernelKind, seconds: f64) {
+        self.seconds[kind.index()] += seconds;
+    }
+
+    /// Time of one kernel.
+    pub fn seconds(&self, kind: KernelKind) -> f64 {
+        self.seconds[kind.index()]
+    }
+
+    /// Total device-activity time.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Share of one kernel (0..=100).
+    pub fn percent(&self, kind: KernelKind) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            100.0 * self.seconds(kind) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// `(kernel, seconds)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (KernelKind, f64)> + '_ {
+        KernelKind::ALL.iter().map(move |&k| (k, self.seconds(k)))
+    }
+}
+
+/// Options of one modeled GPU run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuRunOptions {
+    /// Devices used (1, 2, 4, 6, 8 in the paper).
+    pub gpus: usize,
+    /// Pair-kernel floating-point strategy (a compile flag in LAMMPS).
+    pub precision: PrecisionMode,
+}
+
+impl Default for GpuRunOptions {
+    fn default() -> Self {
+        GpuRunOptions {
+            gpus: 1,
+            precision: PrecisionMode::Mixed,
+        }
+    }
+}
+
+/// Result of one modeled GPU run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GpuRunResult {
+    /// Benchmark identity.
+    pub benchmark: Benchmark,
+    /// Size label (k atoms).
+    pub size_k: usize,
+    /// Devices used.
+    pub gpus: usize,
+    /// Host MPI ranks driving the devices.
+    pub host_ranks: usize,
+    /// Timesteps per second.
+    pub ts_per_sec: f64,
+    /// Seconds per timestep.
+    pub step_seconds: f64,
+    /// Mean per-task ledger (one step).
+    pub tasks: TaskLedger,
+    /// Device-activity ledger (one device, one step).
+    pub kernels: KernelLedger,
+    /// Mean device utilization (busy / step).
+    pub device_utilization: f64,
+    /// Node power (W).
+    pub watts: f64,
+    /// Energy efficiency (TS/s/W).
+    pub ts_per_sec_per_watt: f64,
+}
+
+impl GpuRunResult {
+    /// Parallel efficiency vs. a 1-device result.
+    pub fn parallel_efficiency(&self, single: &GpuRunResult) -> f64 {
+        self.ts_per_sec / (single.ts_per_sec * self.gpus as f64)
+    }
+}
+
+/// The GPU-instance performance model.
+#[derive(Debug, Clone, Default)]
+pub struct GpuModel;
+
+impl GpuModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        GpuModel
+    }
+
+    /// Runs the model over real positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the benchmark is unsupported by the GPU package
+    /// (Chute) or decomposition fails.
+    pub fn simulate(
+        &self,
+        profile: &WorkloadProfile,
+        bx: &SimBox,
+        positions: &[md_core::V3],
+        opts: &GpuRunOptions,
+    ) -> Result<GpuRunResult> {
+        let ranks = (calib::RANKS_PER_GPU * opts.gpus).min(calib::MAX_GPU_HOST_RANKS);
+        let decomp = Decomposition::new(*bx, ranks)?;
+        let census = WorkloadCensus::measure(&decomp, positions, profile.ghost_cutoff);
+        self.simulate_with_census(profile, &census, opts)
+    }
+
+    /// Runs the model with an already-measured census over
+    /// `min(6·gpus, 48)` host ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported benchmarks or a census/rank mismatch.
+    pub fn simulate_with_census(
+        &self,
+        profile: &WorkloadProfile,
+        census: &WorkloadCensus,
+        opts: &GpuRunOptions,
+    ) -> Result<GpuRunResult> {
+        let bench = profile.benchmark;
+        if !bench.gpu_supported() {
+            return Err(md_core::CoreError::InvalidParameter {
+                name: "benchmark",
+                reason: format!(
+                    "the reference GPU package lacks the {} pair style",
+                    bench
+                ),
+            });
+        }
+        let ranks = (calib::RANKS_PER_GPU * opts.gpus).min(calib::MAX_GPU_HOST_RANKS);
+        if census.nranks() != ranks {
+            return Err(md_core::CoreError::LengthMismatch {
+                what: "census ranks",
+                expected: ranks,
+                found: census.nranks(),
+            });
+        }
+        let ranks_per_gpu = ranks / opts.gpus;
+        let pair_rate =
+            calib::gpu_pair_seconds(bench) * calib::gpu_precision_factor(opts.precision);
+        // fp64 atom data is twice as wide on the PCIe link; the FFT mesh
+        // stays fp32 (the paper's build uses -DFFT_SINGLE).
+        let atom_bytes_factor = opts.precision.compute_width() as f64 / 4.0;
+        let per_atom_pairs = profile.stored_neighbors / 2.0; // GPU package: half lists
+        let launch = calib::GPU_KERNEL_LAUNCH_SECONDS;
+        let hk = calib::GPU_HOUSEKEEPING_SECONDS;
+        let loads = census.loads();
+
+        let mut kernels = KernelLedger::new();
+        let mut tasks = TaskLedger::new();
+        let mut max_host = 0.0f64;
+        let mut device_busy = vec![0.0f64; opts.gpus];
+        // Device Kspace/Pair/Neigh attribution accumulators.
+        let mut dev_pair = 0.0;
+        let mut dev_neigh = 0.0;
+        let mut dev_kspace = 0.0;
+
+        for (r, load) in loads.iter().enumerate() {
+            let device = r / ranks_per_gpu;
+            let owned = load.owned as f64;
+            let nall = owned + load.ghosts as f64;
+
+            // -- device kernels --
+            let mut dev = 0.0;
+            let zero = launch + hk * nall;
+            kernels.add(KernelKind::KernelZero, zero);
+            dev += zero;
+
+            let pair_t = launch + pair_rate * per_atom_pairs * owned;
+            match bench {
+                Benchmark::Eam => {
+                    kernels.add(KernelKind::KEamFast, 0.62 * pair_t);
+                    kernels.add(KernelKind::KEnergyFast, 0.38 * pair_t);
+                }
+                Benchmark::Rhodo => kernels.add(KernelKind::KCharmmLong, pair_t),
+                _ => kernels.add(KernelKind::KLjFast, pair_t),
+            }
+            dev += pair_t;
+            dev_pair += pair_t;
+
+            let neigh_t = (launch
+                + calib::GPU_NEIGH_CANDIDATE_SECONDS
+                    * calib::NEIGH_SEARCH_FACTOR
+                    * profile.stored_neighbors
+                    * nall)
+                / profile.rebuild_interval;
+            kernels.add(KernelKind::CalcNeighListCell, neigh_t);
+            dev += neigh_t;
+            dev_neigh += neigh_t;
+
+            let info = launch + hk * owned * 0.2;
+            kernels.add(KernelKind::KernelInfo, info);
+            let transpose = launch + hk * nall * 0.5;
+            kernels.add(KernelKind::Transpose, transpose);
+            let memset = launch + hk * nall * 0.3;
+            kernels.add(KernelKind::Memset, memset);
+            dev += info + transpose + memset;
+
+            if bench == Benchmark::Rhodo {
+                let special = launch + hk * nall;
+                kernels.add(KernelKind::KernelSpecial, special);
+                dev += special;
+            }
+
+            // -- atom-data movement --
+            let htod_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
+                + nall * calib::HTOD_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
+            let dtoh_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
+                + owned * calib::DTOH_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
+            kernels.add(KernelKind::MemcpyHtoD, htod_atoms);
+            kernels.add(KernelKind::MemcpyDtoH, dtoh_atoms);
+            dev += htod_atoms + dtoh_atoms;
+            dev_pair += htod_atoms + dtoh_atoms;
+
+            // -- PPPM mesh on the device, FFT on the host --
+            let mut host_kspace = 0.0;
+            if let Some(ks) = profile.kspace {
+                let weights = (ks.order * ks.order * ks.order) as f64;
+                let map = launch + 0.1e-9 * owned;
+                let rho = launch + calib::GPU_MESH_SECONDS * weights * owned;
+                let interp = launch + calib::GPU_MESH_SECONDS * weights * owned;
+                kernels.add(KernelKind::ParticleMap, map);
+                kernels.add(KernelKind::MakeRho, rho);
+                kernels.add(KernelKind::Interp, interp);
+                dev += map + rho + interp;
+                dev_kspace += map + rho + interp;
+
+                // Mesh bricks cross PCIe as strided slab copies: the charge
+                // density goes out, three field components come back (the
+                // HtoD growth of Section 7). Each z-plane pays a DMA setup.
+                let g_per_rank = ks.grid_points as f64 / ranks as f64;
+                let planes = ks.grid[2] as f64 * calib::PCIE_MESH_PLANE_LATENCY;
+                let mesh_dtoh = g_per_rank * 4.0 / calib::PCIE_MESH_BANDWIDTH + planes;
+                let mesh_htod =
+                    g_per_rank * 3.0 * 4.0 / calib::PCIE_MESH_BANDWIDTH + 3.0 * planes;
+                kernels.add(KernelKind::MemcpyDtoH, mesh_dtoh);
+                kernels.add(KernelKind::MemcpyHtoD, mesh_htod);
+                dev += mesh_dtoh + mesh_htod;
+                dev_kspace += mesh_dtoh + mesh_htod;
+
+                // Host FFT share.
+                let g = ks.grid_points as f64;
+                host_kspace = calib::CPU_FFT_SECONDS
+                    * calib::GPU_HOST_SLOWDOWN
+                    * 4.0
+                    * g
+                    * g.log2()
+                    / ranks as f64;
+            }
+
+            device_busy[device] += dev;
+
+            // -- host work --
+            let slow = calib::GPU_HOST_SLOWDOWN;
+            let mut host_modify = calib::CPU_INTEGRATE_SECONDS * slow * owned
+                + calib::CPU_SHAKE_SECONDS * slow * profile.constraints_per_atom * owned;
+            if bench == Benchmark::Rhodo {
+                host_modify += calib::CPU_NPT_SECONDS * slow * owned;
+            }
+            host_modify += calib::cpu_fix_seconds(bench) * slow * owned;
+            let host_bond = calib::CPU_BOND_SECONDS * slow * profile.bonded_per_atom * owned;
+            let host_comm = if ranks > 1 {
+                calib::CPU_PACK_SECONDS * slow * load.ghosts as f64
+                    + calib::CPU_LINK.transfer(
+                        load.ghosts as f64
+                            * (calib::FORWARD_BYTES_PER_GHOST + calib::REVERSE_BYTES_PER_GHOST),
+                    )
+            } else {
+                0.0
+            };
+            let host_output = calib::CPU_OUTPUT_SECONDS * slow * owned / 100.0;
+            let host = host_modify + host_bond + host_comm + host_kspace + host_output;
+            max_host = max_host.max(host);
+
+            tasks.add(TaskKind::Modify, host_modify / ranks as f64);
+            tasks.add(TaskKind::Bond, host_bond / ranks as f64);
+            tasks.add(TaskKind::Comm, host_comm / ranks as f64);
+            tasks.add(TaskKind::Kspace, host_kspace / ranks as f64);
+            tasks.add(TaskKind::Output, host_output / ranks as f64);
+        }
+
+        // Device sharing: every rank waits for its device's full round.
+        let max_device = device_busy.iter().copied().fold(0.0, f64::max);
+        let step_seconds = max_host + max_device;
+
+        // Attribute device time to tasks (mean per rank).
+        let p = ranks as f64;
+        tasks.add(TaskKind::Pair, dev_pair / p);
+        tasks.add(TaskKind::Neigh, dev_neigh / p);
+        tasks.add(TaskKind::Kspace, dev_kspace / p);
+        let misc = kernels.seconds(KernelKind::KernelZero)
+            + kernels.seconds(KernelKind::KernelInfo)
+            + kernels.seconds(KernelKind::Transpose)
+            + kernels.seconds(KernelKind::Memset)
+            + kernels.seconds(KernelKind::KernelSpecial);
+        tasks.add(TaskKind::Other, misc / p);
+
+        // Utilization counts *compute kernels* only (the paper's nvidia-smi
+        // utilization excludes pure DMA windows on average).
+        let compute_kernel_time: f64 = KernelKind::ALL
+            .iter()
+            .filter(|k| {
+                !matches!(
+                    k,
+                    KernelKind::MemcpyDtoH | KernelKind::MemcpyHtoD | KernelKind::Memset
+                )
+            })
+            .map(|&k| kernels.seconds(k))
+            .sum();
+        let device_utilization =
+            (compute_kernel_time / opts.gpus as f64 / step_seconds).clamp(0.0, 1.0);
+
+        let ts_per_sec = 1.0 / step_seconds;
+        let watts = crate::power::gpu_node_watts(bench, opts.gpus, device_utilization, ranks);
+        Ok(GpuRunResult {
+            benchmark: bench,
+            size_k: profile.natoms / 1000,
+            gpus: opts.gpus,
+            host_ranks: ranks,
+            ts_per_sec,
+            step_seconds,
+            tasks,
+            kernels,
+            device_utilization,
+            watts,
+            ts_per_sec_per_watt: ts_per_sec / watts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_workloads::build_positions;
+
+    fn run(bench: Benchmark, scale: usize, gpus: usize) -> GpuRunResult {
+        let profile = WorkloadProfile::measure(bench, 40, 1)
+            .unwrap()
+            .at_scale(scale)
+            .unwrap();
+        let (bx, x) = build_positions(bench, scale, 1).unwrap();
+        GpuModel::new()
+            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus, precision: PrecisionMode::Mixed })
+            .unwrap()
+    }
+
+    #[test]
+    fn chute_is_rejected() {
+        let profile = WorkloadProfile::measure(Benchmark::Chute, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Chute, 1, 1).unwrap();
+        let err = GpuModel::new()
+            .simulate(&profile, &bx, &x, &GpuRunOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("pair style"));
+    }
+
+    #[test]
+    fn memcpy_dominates_device_activity() {
+        // Paper Section 6.1: the majority of device-active time is memory
+        // movement for most benchmarks.
+        let r = run(Benchmark::Lj, 1, 1);
+        let memcpy = r.kernels.percent(KernelKind::MemcpyHtoD)
+            + r.kernels.percent(KernelKind::MemcpyDtoH);
+        assert!(memcpy > 30.0, "memcpy share {memcpy:.1}%");
+    }
+
+    #[test]
+    fn eam_splits_into_two_kernels() {
+        let r = run(Benchmark::Eam, 1, 1);
+        assert!(r.kernels.seconds(KernelKind::KEamFast) > 0.0);
+        assert!(r.kernels.seconds(KernelKind::KEnergyFast) > 0.0);
+        assert_eq!(r.kernels.seconds(KernelKind::KLjFast), 0.0);
+    }
+
+    #[test]
+    fn multi_gpu_efficiency_is_poor() {
+        let r1 = run(Benchmark::Lj, 1, 1);
+        let r8 = run(Benchmark::Lj, 1, 8);
+        let eff = r8.parallel_efficiency(&r1);
+        assert!(eff < 0.7, "32k atoms on 8 GPUs should scale poorly, eff {eff:.2}");
+        assert!(r8.ts_per_sec >= r1.ts_per_sec * 0.8, "still no catastrophic slowdown");
+    }
+
+    #[test]
+    fn device_utilization_is_low() {
+        let r = run(Benchmark::Lj, 2, 4);
+        assert!(
+            r.device_utilization < 0.7,
+            "utilization {:.2} should reflect the data-movement bottleneck",
+            r.device_utilization
+        );
+    }
+
+    #[test]
+    fn rhodo_moves_mesh_traffic() {
+        let r = run(Benchmark::Rhodo, 1, 2);
+        assert!(r.kernels.seconds(KernelKind::MakeRho) > 0.0);
+        assert!(r.kernels.seconds(KernelKind::ParticleMap) > 0.0);
+        assert!(r.kernels.seconds(KernelKind::Interp) > 0.0);
+        assert!(r.tasks.seconds(TaskKind::Kspace) > 0.0);
+    }
+
+    #[test]
+    fn double_precision_slows_lj_markedly() {
+        // The paper's Figure 16 effect is clearest at the large size, where
+        // kernel and transfer volumes dominate the per-rank latency floor.
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap().at_scale(4).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 4, 1).unwrap();
+        let model = GpuModel::new();
+        let s = model
+            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus: 8, precision: PrecisionMode::Single })
+            .unwrap();
+        let d = model
+            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus: 8, precision: PrecisionMode::Double })
+            .unwrap();
+        let ratio = s.ts_per_sec / d.ts_per_sec;
+        assert!(ratio > 1.12, "single/double ratio {ratio:.3}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Power and energy-efficiency model (the paper samples `powerstat` and
+//! `nvidia-smi` at 0.5 s).
+//!
+//! Node power = platform floor + per-socket idle + dynamic power scaled by
+//! the active-core fraction and the benchmark's measured core utilization
+//! (paper Section 5.2). GPU devices add idle + utilization-scaled dynamic
+//! power. Energy efficiency is TS/s per watt (Figures 6 and 9, middle).
+
+use crate::calib;
+use crate::instance::Instance;
+use md_workloads::Benchmark;
+
+/// CPU-instance node power at `ranks` active cores running `benchmark`.
+pub fn cpu_node_watts(benchmark: Benchmark, ranks: usize) -> f64 {
+    let inst = Instance::cpu_instance();
+    let util = calib::cpu_core_utilization(benchmark);
+    let cores_per_socket = inst.cpu.cores;
+    // Ranks fill socket 0 first (paper: KMP_AFFINITY pinning).
+    let socket0 = ranks.min(cores_per_socket);
+    let socket1 = ranks.saturating_sub(cores_per_socket).min(cores_per_socket);
+    let dynamic_w = inst.cpu.tdp_w - calib::SOCKET_IDLE_W;
+    let mut watts = calib::PLATFORM_IDLE_W + inst.sockets as f64 * calib::SOCKET_IDLE_W;
+    for active in [socket0, socket1] {
+        watts += dynamic_w * (active as f64 / cores_per_socket as f64) * util;
+    }
+    watts
+}
+
+/// GPU-instance node power with `gpus` devices at the given device
+/// utilization and `host_ranks` active host cores.
+pub fn gpu_node_watts(
+    benchmark: Benchmark,
+    gpus: usize,
+    device_utilization: f64,
+    host_ranks: usize,
+) -> f64 {
+    let inst = Instance::gpu_instance();
+    let gpu = inst.gpu.expect("gpu instance has devices");
+    let util_host = calib::cpu_core_utilization(benchmark).min(1.0);
+    let cores = inst.total_cores();
+    let host_dynamic = (inst.cpu.tdp_w - calib::SOCKET_IDLE_W) * inst.sockets as f64;
+    let mut watts = calib::PLATFORM_IDLE_W + inst.sockets as f64 * calib::SOCKET_IDLE_W;
+    watts += host_dynamic * (host_ranks.min(cores) as f64 / cores as f64) * util_host;
+    // All 8 devices idle on the node; the used ones add dynamic power.
+    watts += inst.gpus as f64 * calib::GPU_IDLE_W;
+    watts += gpus as f64 * (gpu.tdp_w - calib::GPU_IDLE_W) * device_utilization.clamp(0.0, 1.0);
+    watts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_ranks_draw_more_power() {
+        let w1 = cpu_node_watts(Benchmark::Lj, 1);
+        let w32 = cpu_node_watts(Benchmark::Lj, 32);
+        let w64 = cpu_node_watts(Benchmark::Lj, 64);
+        assert!(w1 < w32 && w32 < w64);
+        // Full node stays under platform + 2×TDP.
+        assert!(w64 < calib::PLATFORM_IDLE_W + 2.0 * 250.0);
+    }
+
+    #[test]
+    fn chute_draws_less_than_rhodo_at_full_node() {
+        // Lower core utilization -> lower power (paper Section 5.2).
+        assert!(cpu_node_watts(Benchmark::Chute, 64) < cpu_node_watts(Benchmark::Rhodo, 64));
+    }
+
+    #[test]
+    fn gpu_power_scales_with_devices_and_utilization() {
+        let w1 = gpu_node_watts(Benchmark::Lj, 1, 0.3, 6);
+        let w8 = gpu_node_watts(Benchmark::Lj, 8, 0.3, 48);
+        assert!(w8 > w1);
+        let w8_busy = gpu_node_watts(Benchmark::Lj, 8, 0.9, 48);
+        assert!(w8_busy > w8);
+        // Bounded by the node maximum.
+        assert!(w8_busy < 80.0 + 2.0 * 165.0 + 8.0 * 300.0);
+    }
+}

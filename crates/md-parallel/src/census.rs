@@ -1,0 +1,181 @@
+//! The workload census: exact per-rank load statistics measured from the
+//! real particle positions of a benchmark system.
+//!
+//! The performance models in `md-model` consume these counts to derive
+//! per-rank task times; the load *skew* measured here is what turns into the
+//! MPI imbalance of the paper's Figure 4.
+
+use crate::decomposition::Decomposition;
+use crate::ghost::GhostExchange;
+use md_core::V3;
+
+/// Load of a single rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankLoad {
+    /// Atoms this rank owns.
+    pub owned: usize,
+    /// Ghost copies this rank keeps (≈ halo exchange volume).
+    pub ghosts: usize,
+}
+
+/// Per-rank loads for one decomposition of one system.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadCensus {
+    loads: Vec<RankLoad>,
+    natoms: usize,
+    ghost_cutoff: f64,
+}
+
+impl WorkloadCensus {
+    /// Measures the census from real positions: owned atoms per rank (O(N))
+    /// and ghost counts within `ghost_cutoff` of each subdomain (O(N·k)),
+    /// without materializing ghost copies.
+    pub fn measure(d: &Decomposition, x: &[V3], ghost_cutoff: f64) -> Self {
+        let (owned, ghosts) = GhostExchange::count(d, x, ghost_cutoff);
+        let loads = owned
+            .into_iter()
+            .zip(ghosts)
+            .map(|(owned, ghosts)| RankLoad { owned, ghosts })
+            .collect();
+        WorkloadCensus {
+            loads,
+            natoms: x.len(),
+            ghost_cutoff,
+        }
+    }
+
+    /// Builds a census from already-known counts (used by the analytic
+    /// uniform-density path for very large systems).
+    pub fn from_loads(loads: Vec<RankLoad>, natoms: usize, ghost_cutoff: f64) -> Self {
+        WorkloadCensus {
+            loads,
+            natoms,
+            ghost_cutoff,
+        }
+    }
+
+    /// Per-rank loads.
+    pub fn loads(&self) -> &[RankLoad] {
+        &self.loads
+    }
+
+    /// Rank count.
+    pub fn nranks(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total atoms in the system.
+    pub fn natoms(&self) -> usize {
+        self.natoms
+    }
+
+    /// Ghost cutoff used for the halo.
+    pub fn ghost_cutoff(&self) -> f64 {
+        self.ghost_cutoff
+    }
+
+    /// Largest owned-atom count.
+    pub fn max_owned(&self) -> usize {
+        self.loads.iter().map(|l| l.owned).max().unwrap_or(0)
+    }
+
+    /// Mean owned-atom count.
+    pub fn mean_owned(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.natoms as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Load imbalance factor `max / mean` (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_owned();
+        if mean > 0.0 {
+            self.max_owned() as f64 / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean ghost count per rank.
+    pub fn mean_ghosts(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.loads.iter().map(|l| l.ghosts).sum::<usize>() as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Surface-to-volume ratio proxy: mean ghosts per owned atom. This is
+    /// the quantity the paper invokes to explain why communication dominates
+    /// for small systems at high rank counts.
+    pub fn ghost_ratio(&self) -> f64 {
+        let mean = self.mean_owned();
+        if mean > 0.0 {
+            self.mean_ghosts() / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::{SimBox, Vec3};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, l: f64, seed: u64) -> Vec<V3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_system_is_nearly_balanced() {
+        let bx = SimBox::cubic(20.0);
+        let d = Decomposition::new(bx, 8).unwrap();
+        let x = uniform(8000, 20.0, 1);
+        let c = WorkloadCensus::measure(&d, &x, 2.0);
+        assert_eq!(c.loads().iter().map(|l| l.owned).sum::<usize>(), 8000);
+        assert!(c.imbalance() < 1.15, "imbalance {}", c.imbalance());
+    }
+
+    #[test]
+    fn layered_system_is_imbalanced() {
+        // All atoms in the bottom half: the top-half ranks own nothing.
+        let bx = SimBox::cubic(20.0);
+        let d = Decomposition::new(bx, 8).unwrap();
+        let mut x = uniform(4000, 20.0, 2);
+        for p in &mut x {
+            p.z *= 0.5;
+        }
+        let c = WorkloadCensus::measure(&d, &x, 2.0);
+        assert!(c.imbalance() > 1.5, "imbalance {}", c.imbalance());
+    }
+
+    #[test]
+    fn ghost_ratio_grows_with_rank_count() {
+        let bx = SimBox::cubic(20.0);
+        let x = uniform(8000, 20.0, 3);
+        let r8 = WorkloadCensus::measure(&Decomposition::new(bx, 8).unwrap(), &x, 2.0).ghost_ratio();
+        let r64 =
+            WorkloadCensus::measure(&Decomposition::new(bx, 64).unwrap(), &x, 2.0).ghost_ratio();
+        assert!(r64 > r8, "{r64} vs {r8}");
+    }
+
+    #[test]
+    fn single_rank_census_keeps_ghosts_from_periodic_images() {
+        // Even one rank sees its own periodic images as ghosts when the
+        // cutoff reaches across the boundary.
+        let bx = SimBox::cubic(10.0);
+        let d = Decomposition::new(bx, 1).unwrap();
+        let x = vec![Vec3::new(0.5, 5.0, 5.0)];
+        let c = WorkloadCensus::measure(&d, &x, 1.0);
+        assert_eq!(c.loads()[0].owned, 1);
+        assert!(c.loads()[0].ghosts >= 1, "periodic self-image is a ghost");
+    }
+}

@@ -1,0 +1,349 @@
+//! The virtual cluster: MPI ranks on simulated clocks.
+//!
+//! Each rank owns a virtual clock (seconds of simulated wall time), a
+//! per-task ledger ([`md_core::TaskLedger`]) and a per-MPI-function ledger
+//! ([`crate::MpiLedger`]). Compute advances one clock; communication
+//! operations synchronize clocks bulk-synchronously through a
+//! latency/bandwidth [`LinkModel`]. Skew between clocks at a synchronization
+//! point becomes `MPI_Wait` time — which is exactly how the paper's "MPI
+//! imbalance" metric arises from heterogeneous per-rank work.
+
+use crate::mpi::{MpiFunction, MpiLedger};
+use md_core::{TaskKind, TaskLedger};
+
+/// A latency/bandwidth model of one communication link.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkModel {
+    /// Per-message latency, seconds.
+    pub latency: f64,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl LinkModel {
+    /// Transfer time of `bytes` over this link.
+    pub fn transfer(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// One virtual MPI rank.
+#[derive(Debug, Clone, Default)]
+struct VirtualRank {
+    clock: f64,
+    tasks: TaskLedger,
+    mpi: MpiLedger,
+}
+
+/// A set of virtual ranks evolving bulk-synchronously.
+#[derive(Debug, Clone)]
+pub struct VirtualCluster {
+    ranks: Vec<VirtualRank>,
+}
+
+impl VirtualCluster {
+    /// Creates `n` ranks with zeroed clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one rank");
+        VirtualCluster {
+            ranks: vec![VirtualRank::default(); n],
+        }
+    }
+
+    /// Rank count.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Advances rank `r` by `seconds` of compute attributed to `task`.
+    pub fn compute(&mut self, r: usize, task: TaskKind, seconds: f64) {
+        let rank = &mut self.ranks[r];
+        rank.clock += seconds;
+        rank.tasks.add(task, seconds);
+    }
+
+    /// Models `MPI_Init`: every rank pays `base + per_rank · P` seconds
+    /// (the paper observes the per-rank `MPI_Init` cost *grows* with the
+    /// number of processes).
+    pub fn mpi_init(&mut self, base: f64, per_rank: f64) {
+        let p = self.nranks() as f64;
+        let cost = base + per_rank * p;
+        for rank in &mut self.ranks {
+            rank.clock += cost;
+            rank.mpi.add(MpiFunction::Init, cost);
+            rank.tasks.add(TaskKind::Other, cost);
+        }
+    }
+
+    /// Models one halo-exchange phase: every rank does a paired
+    /// `MPI_Sendrecv` with partners `partners[r]`, moving `bytes[r]` each
+    /// way. Ranks must first catch up to the slowest partner (skew becomes
+    /// `MPI_Wait`), then pay the transfer.
+    ///
+    /// Exchange time is attributed to the `Comm` task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the rank count.
+    pub fn halo_exchange(&mut self, partners: &[Vec<usize>], bytes: &[f64], link: LinkModel) {
+        assert_eq!(partners.len(), self.nranks(), "partners per rank");
+        assert_eq!(bytes.len(), self.nranks(), "bytes per rank");
+        let clocks: Vec<f64> = self.ranks.iter().map(|r| r.clock).collect();
+        for r in 0..self.nranks() {
+            let mut sync_to = clocks[r];
+            let mut any_partner = false;
+            for &p in &partners[r] {
+                if p != r {
+                    sync_to = sync_to.max(clocks[p]);
+                    any_partner = true;
+                }
+            }
+            let wait = sync_to - clocks[r];
+            // Volume: what this rank sends plus what it receives.
+            let recv: f64 = partners[r]
+                .iter()
+                .filter(|&&p| p != r)
+                .map(|&p| bytes[p] / partners[p].len().max(1) as f64)
+                .sum();
+            let sent = if any_partner { bytes[r] } else { 0.0 };
+            let xfer = if any_partner { link.transfer(sent + recv) } else { 0.0 };
+            let rank = &mut self.ranks[r];
+            rank.clock = sync_to + xfer;
+            if wait > 0.0 {
+                rank.mpi.add(MpiFunction::Wait, wait);
+                rank.mpi.add_skew(wait);
+                rank.tasks.add(TaskKind::Comm, wait);
+            }
+            if xfer > 0.0 {
+                rank.mpi.add(MpiFunction::Sendrecv, xfer);
+                rank.tasks.add(TaskKind::Comm, xfer);
+            }
+        }
+    }
+
+    /// Models an `MPI_Allreduce` of `bytes` per rank: a full synchronization
+    /// (skew → `MPI_Wait`) followed by a `log2(P)`-stage butterfly.
+    ///
+    /// The reduction time is attributed to `task` (thermo reductions are
+    /// `Output`, FFT norms are `Kspace`, ...).
+    pub fn allreduce(&mut self, bytes: f64, link: LinkModel, task: TaskKind) {
+        let max_clock = self.max_clock();
+        let stages = (self.nranks() as f64).log2().ceil().max(1.0);
+        let cost = stages * link.transfer(bytes);
+        for rank in &mut self.ranks {
+            let wait = max_clock - rank.clock;
+            if wait > 0.0 {
+                rank.mpi.add(MpiFunction::Wait, wait);
+                rank.mpi.add_skew(wait);
+                rank.tasks.add(task, wait);
+            }
+            rank.clock = max_clock + cost;
+            rank.mpi.add(MpiFunction::Allreduce, cost);
+            rank.tasks.add(task, cost);
+        }
+    }
+
+    /// Models the all-to-all transposes of a distributed 3D FFT: each rank
+    /// sends `bytes_per_rank` to every other rank, `rounds` times. Transfer
+    /// time is `MPI_Send`, synchronization skew is `MPI_Wait`; everything is
+    /// attributed to `Kspace`.
+    pub fn fft_transpose(&mut self, bytes_per_rank: f64, rounds: usize, link: LinkModel) {
+        if self.nranks() == 1 {
+            return;
+        }
+        let max_clock = self.max_clock();
+        let p = self.nranks() as f64;
+        // Each round: (P-1) messages pipelined; model as latency·(P-1) plus
+        // the full volume over the shared link.
+        let per_round = (p - 1.0) * link.latency + (p - 1.0) * bytes_per_rank / link.bandwidth;
+        let cost = rounds as f64 * per_round;
+        for rank in &mut self.ranks {
+            let wait = max_clock - rank.clock;
+            if wait > 0.0 {
+                rank.mpi.add(MpiFunction::Wait, wait);
+                rank.mpi.add_skew(wait);
+                rank.tasks.add(TaskKind::Kspace, wait);
+            }
+            rank.clock = max_clock + cost;
+            rank.mpi.add(MpiFunction::Send, cost);
+            rank.tasks.add(TaskKind::Kspace, cost);
+        }
+    }
+
+    /// The latest rank clock.
+    pub fn max_clock(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock).fold(0.0, f64::max)
+    }
+
+    /// The earliest rank clock.
+    pub fn min_clock(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean rank clock.
+    pub fn mean_clock(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock).sum::<f64>() / self.nranks() as f64
+    }
+
+    /// Task ledger of rank `r`.
+    pub fn task_ledger(&self, r: usize) -> &TaskLedger {
+        &self.ranks[r].tasks
+    }
+
+    /// MPI ledger of rank `r`.
+    pub fn mpi_ledger(&self, r: usize) -> &MpiLedger {
+        &self.ranks[r].mpi
+    }
+
+    /// Task ledger averaged across ranks.
+    pub fn mean_task_ledger(&self) -> TaskLedger {
+        let mut sum = TaskLedger::new();
+        for r in &self.ranks {
+            sum.merge(&r.tasks);
+        }
+        let p = self.nranks() as f64;
+        let mut mean = TaskLedger::new();
+        for (t, s) in sum.iter() {
+            mean.add(t, s / p);
+        }
+        mean
+    }
+
+    /// MPI ledger averaged across ranks.
+    pub fn mean_mpi_ledger(&self) -> MpiLedger {
+        let mut sum = MpiLedger::new();
+        for r in &self.ranks {
+            sum.merge(&r.mpi);
+        }
+        let p = self.nranks() as f64;
+        let mut mean = MpiLedger::new();
+        for (f, s) in sum.iter() {
+            mean.add(f, s / p);
+        }
+        mean.add_skew(sum.skew_seconds() / p);
+        mean
+    }
+
+    /// Percentage of mean total time spent inside MPI functions
+    /// (the paper's Figure 4, top).
+    pub fn mpi_time_percent(&self) -> f64 {
+        let total = self.mean_clock();
+        if total > 0.0 {
+            100.0 * self.mean_mpi_ledger().total() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Percentage of mean total time that is skew-induced waiting
+    /// (the paper's "MPI imbalance", Figure 4 bottom).
+    pub fn mpi_imbalance_percent(&self) -> f64 {
+        let total = self.mean_clock();
+        if total > 0.0 {
+            100.0 * self.mean_mpi_ledger().skew_seconds() / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINK: LinkModel = LinkModel {
+        latency: 1e-6,
+        bandwidth: 10e9,
+    };
+
+    #[test]
+    fn compute_advances_one_clock() {
+        let mut c = VirtualCluster::new(4);
+        c.compute(2, TaskKind::Pair, 1.5);
+        assert_eq!(c.max_clock(), 1.5);
+        assert_eq!(c.min_clock(), 0.0);
+        assert_eq!(c.task_ledger(2).seconds(TaskKind::Pair), 1.5);
+    }
+
+    #[test]
+    fn balanced_halo_exchange_has_no_wait() {
+        let mut c = VirtualCluster::new(4);
+        for r in 0..4 {
+            c.compute(r, TaskKind::Pair, 1.0);
+        }
+        let partners = vec![vec![1], vec![0], vec![3], vec![2]];
+        c.halo_exchange(&partners, &[1000.0; 4], LINK);
+        for r in 0..4 {
+            assert_eq!(c.mpi_ledger(r).seconds(MpiFunction::Wait), 0.0);
+            assert!(c.mpi_ledger(r).seconds(MpiFunction::Sendrecv) > 0.0);
+        }
+        assert!((c.max_clock() - c.min_clock()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn skewed_compute_creates_wait_on_the_fast_rank() {
+        let mut c = VirtualCluster::new(2);
+        c.compute(0, TaskKind::Pair, 2.0);
+        c.compute(1, TaskKind::Pair, 1.0);
+        c.halo_exchange(&[vec![1], vec![0]], &[100.0; 2], LINK);
+        assert_eq!(c.mpi_ledger(0).seconds(MpiFunction::Wait), 0.0);
+        assert!((c.mpi_ledger(1).seconds(MpiFunction::Wait) - 1.0).abs() < 1e-12);
+        assert!((c.mpi_ledger(1).skew_seconds() - 1.0).abs() < 1e-12);
+        assert!(c.mpi_imbalance_percent() > 0.0);
+    }
+
+    #[test]
+    fn allreduce_synchronizes_everyone() {
+        let mut c = VirtualCluster::new(8);
+        for r in 0..8 {
+            c.compute(r, TaskKind::Pair, r as f64 * 0.1);
+        }
+        c.allreduce(64.0, LINK, TaskKind::Output);
+        assert!((c.max_clock() - c.min_clock()).abs() < 1e-15);
+        // Slowest rank waited zero; fastest waited the spread.
+        assert_eq!(c.mpi_ledger(7).seconds(MpiFunction::Wait), 0.0);
+        assert!((c.mpi_ledger(0).seconds(MpiFunction::Wait) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_transpose_cost_scales_with_ranks() {
+        let cost = |p: usize| {
+            let mut c = VirtualCluster::new(p);
+            c.fft_transpose(1e6, 2, LINK);
+            c.max_clock()
+        };
+        assert_eq!(cost(1), 0.0);
+        assert!(cost(16) > cost(4));
+    }
+
+    #[test]
+    fn mean_ledgers_average_over_ranks() {
+        let mut c = VirtualCluster::new(2);
+        c.compute(0, TaskKind::Pair, 4.0);
+        c.compute(1, TaskKind::Pair, 2.0);
+        let mean = c.mean_task_ledger();
+        assert!((mean.seconds(TaskKind::Pair) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_cost_grows_with_rank_count() {
+        let mut small = VirtualCluster::new(4);
+        small.mpi_init(0.1, 0.01);
+        let mut big = VirtualCluster::new(64);
+        big.mpi_init(0.1, 0.01);
+        assert!(
+            big.mpi_ledger(0).seconds(MpiFunction::Init)
+                > small.mpi_ledger(0).seconds(MpiFunction::Init)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = VirtualCluster::new(0);
+    }
+}

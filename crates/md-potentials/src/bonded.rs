@@ -1,0 +1,510 @@
+//! Bonded potentials: FENE bonds (Chain benchmark), harmonic bonds/angles and
+//! CHARMM dihedrals (Rhodopsin benchmark).
+//!
+//! The paper observes (Section 5) that bonded-force time is marginal and
+//! scales well — these styles exist so the engine exercises the `Bond` task
+//! with the real algorithms, not stubs.
+
+use md_core::atoms::{Angle, Bond, Dihedral};
+use md_core::{AngleStyle, BondStyle, CoreError, DihedralStyle, EnergyVirial, SimBox, V3};
+
+/// FENE (finitely extensible nonlinear elastic) bond with the WCA core
+/// (LAMMPS `bond_style fene`), as used by the bead-spring Chain melt.
+#[derive(Debug, Clone)]
+pub struct FeneBond {
+    /// Spring constant `K` per bond type.
+    k: Vec<f64>,
+    /// Maximum extension `R0` per bond type.
+    r0: Vec<f64>,
+    /// LJ ε of the repulsive core per bond type.
+    epsilon: Vec<f64>,
+    /// LJ σ of the repulsive core per bond type.
+    sigma: Vec<f64>,
+}
+
+impl FeneBond {
+    /// Creates the style from per-bond-type `(K, R0, ε, σ)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any `K` or `R0` is non-positive.
+    pub fn new(coeffs: &[(f64, f64, f64, f64)]) -> Result<Self, CoreError> {
+        for &(k, r0, ..) in coeffs {
+            if !(k > 0.0 && r0 > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "fene",
+                    reason: format!("K ({k}) and R0 ({r0}) must be positive"),
+                });
+            }
+        }
+        Ok(FeneBond {
+            k: coeffs.iter().map(|c| c.0).collect(),
+            r0: coeffs.iter().map(|c| c.1).collect(),
+            epsilon: coeffs.iter().map(|c| c.2).collect(),
+            sigma: coeffs.iter().map(|c| c.3).collect(),
+        })
+    }
+
+    /// The Kremer-Grest melt parameterization: `K = 30, R0 = 1.5, ε = σ = 1`.
+    pub fn kremer_grest() -> Self {
+        FeneBond::new(&[(30.0, 1.5, 1.0, 1.0)]).expect("valid parameters")
+    }
+
+    /// Energy of one bond at length `r` (reference for tests).
+    pub fn bond_energy(&self, kind: u32, r: f64) -> f64 {
+        let t = kind as usize;
+        let r0 = self.r0[t];
+        let mut e = -0.5 * self.k[t] * r0 * r0 * (1.0 - (r / r0).powi(2)).ln();
+        let sigma = self.sigma[t];
+        let rmin = 2.0f64.powf(1.0 / 6.0) * sigma;
+        if r < rmin {
+            let s6 = (sigma / r).powi(6);
+            e += 4.0 * self.epsilon[t] * (s6 * s6 - s6) + self.epsilon[t];
+        }
+        e
+    }
+}
+
+impl BondStyle for FeneBond {
+    fn name(&self) -> &'static str {
+        "fene"
+    }
+
+    fn compute(&mut self, bx: &SimBox, x: &[V3], bonds: &[Bond], f: &mut [V3]) -> EnergyVirial {
+        let mut evdwl = 0.0;
+        let mut virial = 0.0;
+        for b in bonds {
+            let (i, j) = (b.i as usize, b.j as usize);
+            let t = b.kind as usize;
+            let d = bx.min_image(x[i], x[j]);
+            let r2 = d.norm2();
+            let r0 = self.r0[t];
+            let r02 = r0 * r0;
+            let ratio = (r2 / r02).min(1.0 - 1e-9); // clamp near full extension
+            // Attractive FENE part: fpair = -K / (1 - (r/R0)^2).
+            let mut fpair = -self.k[t] / (1.0 - ratio);
+            evdwl += -0.5 * self.k[t] * r02 * (1.0 - ratio).ln();
+            // Repulsive WCA core.
+            let sigma = self.sigma[t];
+            let rmin2 = 2.0f64.powf(1.0 / 3.0) * sigma * sigma;
+            if r2 < rmin2 {
+                let inv2 = sigma * sigma / r2;
+                let inv6 = inv2 * inv2 * inv2;
+                fpair += 24.0 * self.epsilon[t] * inv6 * (2.0 * inv6 - 1.0) / r2;
+                evdwl += 4.0 * self.epsilon[t] * (inv6 * inv6 - inv6) + self.epsilon[t];
+            }
+            let df = d * fpair;
+            f[i] += df;
+            f[j] -= df;
+            virial += r2 * fpair;
+        }
+        EnergyVirial {
+            evdwl,
+            ecoul: 0.0,
+            virial,
+        }
+    }
+}
+
+/// Harmonic bond `E = K (r - r0)²` (LAMMPS `bond_style harmonic`).
+#[derive(Debug, Clone)]
+pub struct HarmonicBond {
+    k: Vec<f64>,
+    r0: Vec<f64>,
+}
+
+impl HarmonicBond {
+    /// Creates the style from per-bond-type `(K, r0)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any `K` is negative or `r0` non-positive.
+    pub fn new(coeffs: &[(f64, f64)]) -> Result<Self, CoreError> {
+        for &(k, r0) in coeffs {
+            if !(k >= 0.0 && r0 > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "bond harmonic",
+                    reason: format!("K ({k}) must be >= 0 and r0 ({r0}) > 0"),
+                });
+            }
+        }
+        Ok(HarmonicBond {
+            k: coeffs.iter().map(|c| c.0).collect(),
+            r0: coeffs.iter().map(|c| c.1).collect(),
+        })
+    }
+}
+
+impl BondStyle for HarmonicBond {
+    fn name(&self) -> &'static str {
+        "harmonic"
+    }
+
+    fn compute(&mut self, bx: &SimBox, x: &[V3], bonds: &[Bond], f: &mut [V3]) -> EnergyVirial {
+        let mut evdwl = 0.0;
+        let mut virial = 0.0;
+        for b in bonds {
+            let (i, j) = (b.i as usize, b.j as usize);
+            let t = b.kind as usize;
+            let d = bx.min_image(x[i], x[j]);
+            let r = d.norm();
+            let dr = r - self.r0[t];
+            evdwl += self.k[t] * dr * dr;
+            let fpair = if r > 0.0 { -2.0 * self.k[t] * dr / r } else { 0.0 };
+            let df = d * fpair;
+            f[i] += df;
+            f[j] -= df;
+            virial += r * r * fpair;
+        }
+        EnergyVirial {
+            evdwl,
+            ecoul: 0.0,
+            virial,
+        }
+    }
+}
+
+/// Harmonic angle `E = K (θ - θ0)²` (LAMMPS `angle_style harmonic`);
+/// `θ0` is stored in radians.
+#[derive(Debug, Clone)]
+pub struct HarmonicAngle {
+    k: Vec<f64>,
+    theta0: Vec<f64>,
+}
+
+impl HarmonicAngle {
+    /// Creates the style from per-angle-type `(K, θ0°)` rows (θ0 in degrees,
+    /// as in LAMMPS input decks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any `K` is negative.
+    pub fn new(coeffs: &[(f64, f64)]) -> Result<Self, CoreError> {
+        for &(k, _) in coeffs {
+            if k < 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "angle harmonic",
+                    reason: format!("K ({k}) must be non-negative"),
+                });
+            }
+        }
+        Ok(HarmonicAngle {
+            k: coeffs.iter().map(|c| c.0).collect(),
+            theta0: coeffs.iter().map(|c| c.1.to_radians()).collect(),
+        })
+    }
+}
+
+impl AngleStyle for HarmonicAngle {
+    fn name(&self) -> &'static str {
+        "harmonic"
+    }
+
+    fn compute(&mut self, bx: &SimBox, x: &[V3], angles: &[Angle], f: &mut [V3]) -> EnergyVirial {
+        let mut evdwl = 0.0;
+        let mut virial = 0.0;
+        for a in angles {
+            let (i, j, k) = (a.i as usize, a.j as usize, a.k as usize);
+            let t = a.kind as usize;
+            let d1 = bx.min_image(x[i], x[j]);
+            let d2 = bx.min_image(x[k], x[j]);
+            let r1 = d1.norm();
+            let r2 = d2.norm();
+            let mut c = d1.dot(d2) / (r1 * r2);
+            c = c.clamp(-1.0, 1.0);
+            let s = (1.0 - c * c).sqrt().max(1e-8);
+            let theta = c.acos();
+            let dtheta = theta - self.theta0[t];
+            evdwl += self.k[t] * dtheta * dtheta;
+            // a = -2 K dθ / sinθ  (LAMMPS angle_harmonic).
+            let coef = -2.0 * self.k[t] * dtheta / s;
+            let a11 = coef * c / (r1 * r1);
+            let a12 = -coef / (r1 * r2);
+            let a22 = coef * c / (r2 * r2);
+            let f1 = d1 * a11 + d2 * a12;
+            let f3 = d2 * a22 + d1 * a12;
+            f[i] += f1;
+            f[k] += f3;
+            f[j] -= f1 + f3;
+            virial += d1.dot(f1) + d2.dot(f3);
+        }
+        EnergyVirial {
+            evdwl,
+            ecoul: 0.0,
+            virial,
+        }
+    }
+}
+
+/// CHARMM dihedral `E = K [1 + cos(n φ - d)]`
+/// (LAMMPS `dihedral_style charmm`).
+#[derive(Debug, Clone)]
+pub struct CharmmDihedral {
+    k: Vec<f64>,
+    n: Vec<i32>,
+    delta: Vec<f64>,
+}
+
+impl CharmmDihedral {
+    /// Creates the style from per-type `(K, n, d°)` rows (`d` in degrees).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any multiplicity `n < 1` or `K < 0`.
+    pub fn new(coeffs: &[(f64, i32, f64)]) -> Result<Self, CoreError> {
+        for &(k, n, _) in coeffs {
+            if n < 1 || k < 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "dihedral charmm",
+                    reason: format!("need K ({k}) >= 0 and n ({n}) >= 1"),
+                });
+            }
+        }
+        Ok(CharmmDihedral {
+            k: coeffs.iter().map(|c| c.0).collect(),
+            n: coeffs.iter().map(|c| c.1).collect(),
+            delta: coeffs.iter().map(|c| c.2.to_radians()).collect(),
+        })
+    }
+
+    /// Dihedral angle φ of the four points (reference for tests).
+    pub fn phi(bx: &SimBox, xi: V3, xj: V3, xk: V3, xl: V3) -> f64 {
+        let b1 = bx.min_image(xj, xi);
+        let b2 = bx.min_image(xk, xj);
+        let b3 = bx.min_image(xl, xk);
+        let m = b1.cross(b2);
+        let n = b2.cross(b3);
+        let b2len = b2.norm();
+        (b1.dot(n) * b2len).atan2(m.dot(n))
+    }
+}
+
+impl DihedralStyle for CharmmDihedral {
+    fn name(&self) -> &'static str {
+        "charmm"
+    }
+
+    fn compute(
+        &mut self,
+        bx: &SimBox,
+        x: &[V3],
+        dihedrals: &[Dihedral],
+        f: &mut [V3],
+    ) -> EnergyVirial {
+        let mut evdwl = 0.0;
+        for d in dihedrals {
+            let (i, j, k, l) = (d.i as usize, d.j as usize, d.k as usize, d.l as usize);
+            let t = d.kind as usize;
+            let b1 = bx.min_image(x[j], x[i]);
+            let b2 = bx.min_image(x[k], x[j]);
+            let b3 = bx.min_image(x[l], x[k]);
+            let m = b1.cross(b2);
+            let n = b2.cross(b3);
+            let b2len = b2.norm().max(1e-12);
+            let phi = (b1.dot(n) * b2len).atan2(m.dot(n));
+            let nk = self.n[t] as f64;
+            evdwl += self.k[t] * (1.0 + (nk * phi - self.delta[t]).cos());
+            // dE/dφ
+            let dedphi = -self.k[t] * nk * (nk * phi - self.delta[t]).sin();
+            // Analytic gradient of φ (Blondel-Karplus form, verified against
+            // numerical differentiation): ∂φ/∂x_i = -(|b2|/|m|²) m,
+            // ∂φ/∂x_l = (|b2|/|n|²) n; the inner atoms take the combinations
+            // below with p = -b1·b2/|b2|², q = b3·b2/|b2|².
+            let m2 = m.norm2().max(1e-24);
+            let n2 = n.norm2().max(1e-24);
+            let fi = m * (dedphi * b2len / m2);
+            let fl = n * (-dedphi * b2len / n2);
+            let p = -b1.dot(b2) / (b2len * b2len);
+            let q = b3.dot(b2) / (b2len * b2len);
+            let fj = fi * (p - 1.0) + fl * q;
+            let fk = fi * (-p) - fl * (1.0 + q);
+            f[i] += fi;
+            f[j] += fj;
+            f[k] += fk;
+            f[l] += fl;
+        }
+        EnergyVirial {
+            evdwl,
+            ecoul: 0.0,
+            virial: 0.0, // dihedral virial omitted (traceless for this form)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::atoms::{Angle, Bond, Dihedral};
+    use md_core::Vec3;
+
+    fn big_box() -> SimBox {
+        SimBox::cubic(100.0)
+    }
+
+    #[test]
+    fn fene_equilibrium_length_is_near_097() {
+        // Kremer-Grest bonds equilibrate around r ≈ 0.97 σ where FENE
+        // attraction balances WCA repulsion.
+        let fene = FeneBond::kremer_grest();
+        let mut best = (0.0, f64::INFINITY);
+        for k in 1..200 {
+            let r = 0.5 + 0.004 * k as f64;
+            let e = fene.bond_energy(0, r);
+            if e < best.1 {
+                best = (r, e);
+            }
+        }
+        assert!((best.0 - 0.97).abs() < 0.02, "minimum at {}", best.0);
+    }
+
+    #[test]
+    fn fene_force_matches_numerical_derivative() {
+        let mut fene = FeneBond::kremer_grest();
+        let bx = big_box();
+        for r in [0.8, 0.97, 1.2, 1.4] {
+            let x = vec![Vec3::new(50.0, 50.0, 50.0), Vec3::new(50.0 + r, 50.0, 50.0)];
+            let bonds = vec![Bond { kind: 0, i: 0, j: 1 }];
+            let mut f = vec![Vec3::zero(); 2];
+            fene.compute(&bx, &x, &bonds, &mut f);
+            let h = 1e-7;
+            let dedr = (fene.bond_energy(0, r + h) - fene.bond_energy(0, r - h)) / (2.0 * h);
+            assert!(
+                (f[1].x - (-dedr)).abs() < 1e-4 * dedr.abs().max(1.0),
+                "r = {r}: {} vs {}",
+                f[1].x,
+                -dedr
+            );
+            assert!((f[0] + f[1]).norm() < 1e-12, "Newton pair");
+        }
+    }
+
+    #[test]
+    fn fene_diverges_near_full_extension() {
+        let fene = FeneBond::kremer_grest();
+        assert!(fene.bond_energy(0, 1.49) > fene.bond_energy(0, 1.3) * 2.0);
+    }
+
+    #[test]
+    fn harmonic_bond_force_and_energy() {
+        let mut hb = HarmonicBond::new(&[(100.0, 1.5)]).unwrap();
+        let bx = big_box();
+        let x = vec![Vec3::new(10.0, 10.0, 10.0), Vec3::new(11.7, 10.0, 10.0)];
+        let bonds = vec![Bond { kind: 0, i: 0, j: 1 }];
+        let mut f = vec![Vec3::zero(); 2];
+        let e = hb.compute(&bx, &x, &bonds, &mut f);
+        assert!((e.evdwl - 100.0 * 0.04).abs() < 1e-10);
+        // Stretched bond pulls atoms together: f on atom 1 along -x.
+        assert!((f[1].x - (-2.0 * 100.0 * 0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_angle_is_zero_at_equilibrium() {
+        let mut ha = HarmonicAngle::new(&[(50.0, 90.0)]).unwrap();
+        let bx = big_box();
+        let x = vec![
+            Vec3::new(11.0, 10.0, 10.0),
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(10.0, 11.0, 10.0),
+        ];
+        let angles = vec![Angle { kind: 0, i: 0, j: 1, k: 2 }];
+        let mut f = vec![Vec3::zero(); 3];
+        let e = ha.compute(&bx, &x, &angles, &mut f);
+        assert!(e.evdwl.abs() < 1e-12);
+        assert!(f.iter().all(|fi| fi.norm() < 1e-9));
+    }
+
+    #[test]
+    fn harmonic_angle_force_matches_numerical_derivative() {
+        let mut ha = HarmonicAngle::new(&[(35.0, 104.5)]).unwrap();
+        let bx = big_box();
+        let base = vec![
+            Vec3::new(11.0, 10.3, 10.0),
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(9.8, 11.2, 10.4),
+        ];
+        let angles = vec![Angle { kind: 0, i: 0, j: 1, k: 2 }];
+        let energy = |x: &[V3]| {
+            let mut style = HarmonicAngle::new(&[(35.0, 104.5)]).unwrap();
+            let mut f = vec![Vec3::zero(); 3];
+            style.compute(&bx, x, &angles, &mut f).evdwl
+        };
+        let mut f = vec![Vec3::zero(); 3];
+        ha.compute(&bx, &base, &angles, &mut f);
+        let h = 1e-6;
+        for atom in 0..3 {
+            for axis in 0..3 {
+                let mut xp = base.clone();
+                xp[atom][axis] += h;
+                let mut xm = base.clone();
+                xm[atom][axis] -= h;
+                let dedx = (energy(&xp) - energy(&xm)) / (2.0 * h);
+                assert!(
+                    (f[atom][axis] + dedx).abs() < 1e-5,
+                    "atom {atom} axis {axis}: {} vs {}",
+                    f[atom][axis],
+                    -dedx
+                );
+            }
+        }
+        // Angle forces are internal: zero net force.
+        assert!((f[0] + f[1] + f[2]).norm() < 1e-10);
+    }
+
+    #[test]
+    fn dihedral_phi_of_planar_trans_is_pi() {
+        let bx = big_box();
+        let phi = CharmmDihedral::phi(
+            &bx,
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+        );
+        assert!((phi.abs() - std::f64::consts::PI).abs() < 1e-12, "{phi}");
+    }
+
+    #[test]
+    fn dihedral_force_matches_numerical_derivative() {
+        let mut cd = CharmmDihedral::new(&[(2.5, 2, 180.0)]).unwrap();
+        let bx = big_box();
+        let base = vec![
+            Vec3::new(0.1, 1.0, 0.2),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.2, 0.1, -0.1),
+            Vec3::new(1.5, -0.9, 0.6),
+        ];
+        let dihedrals = vec![Dihedral { kind: 0, i: 0, j: 1, k: 2, l: 3 }];
+        let energy = |x: &[V3]| {
+            let mut style = CharmmDihedral::new(&[(2.5, 2, 180.0)]).unwrap();
+            let mut f = vec![Vec3::zero(); 4];
+            style.compute(&bx, x, &dihedrals, &mut f).evdwl
+        };
+        let mut f = vec![Vec3::zero(); 4];
+        cd.compute(&bx, &base, &dihedrals, &mut f);
+        let h = 1e-6;
+        for atom in 0..4 {
+            for axis in 0..3 {
+                let mut xp = base.to_vec();
+                xp[atom][axis] += h;
+                let mut xm = base.to_vec();
+                xm[atom][axis] -= h;
+                let dedx = (energy(&xp) - energy(&xm)) / (2.0 * h);
+                assert!(
+                    (f[atom][axis] + dedx).abs() < 1e-5,
+                    "atom {atom} axis {axis}: {} vs {}",
+                    f[atom][axis],
+                    -dedx
+                );
+            }
+        }
+        assert!((f[0] + f[1] + f[2] + f[3]).norm() < 1e-10, "zero net force");
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(FeneBond::new(&[(0.0, 1.5, 1.0, 1.0)]).is_err());
+        assert!(HarmonicBond::new(&[(-1.0, 1.0)]).is_err());
+        assert!(HarmonicAngle::new(&[(-1.0, 90.0)]).is_err());
+        assert!(CharmmDihedral::new(&[(1.0, 0, 0.0)]).is_err());
+    }
+}

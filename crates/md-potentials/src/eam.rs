@@ -1,0 +1,344 @@
+//! Embedded-Atom Method many-body potential (LAMMPS `pair_style eam`),
+//! in the analytic Sutton-Chen form parameterized for copper — the EAM
+//! benchmark simulates a Cu metallic solid (paper Section 3).
+//!
+//! `E = ε Σ_i [ ½ Σ_j (a/r_ij)^n  −  c √ρ_i ]`, `ρ_i = Σ_j (a/r_ij)^m`.
+//!
+//! Like the tabulated LAMMPS EAM, the computation is two passes over the
+//! neighbor list: first accumulate densities (and the pair repulsion), then
+//! evaluate the embedding derivative and sweep again for forces. This
+//! two-pass structure is what makes the EAM kernel heavier per pair than
+//! plain LJ — the effect the paper's Figure 8 attributes to `k_eam_fast` +
+//! `k_energy_fast`.
+
+use md_core::neighbor::NeighborList;
+use md_core::{CoreError, EnergyVirial, PairStyle, PairSystem, PrecisionMode, Vec3, V3};
+
+/// Sutton-Chen analytic EAM.
+#[derive(Debug, Clone)]
+pub struct SuttonChenEam {
+    /// Energy scale ε (eV in metal units).
+    epsilon: f64,
+    /// Length scale `a` (Å) — close to the fcc lattice constant.
+    a: f64,
+    /// Repulsive exponent `n`.
+    n: i32,
+    /// Density exponent `m`.
+    m: i32,
+    /// Embedding strength `c`.
+    c: f64,
+    cutoff: f64,
+    /// Scratch: per-atom electron density.
+    rho: Vec<f64>,
+    /// Scratch: per-atom dF/dρ.
+    dembed: Vec<f64>,
+    mode: PrecisionMode,
+}
+
+impl SuttonChenEam {
+    /// Creates a Sutton-Chen EAM with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive scales or cutoff.
+    pub fn new(epsilon: f64, a: f64, n: i32, m: i32, c: f64, cutoff: f64) -> Result<Self, CoreError> {
+        if !(epsilon > 0.0 && a > 0.0 && c > 0.0 && cutoff > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "sutton-chen",
+                reason: "epsilon, a, c, cutoff must all be positive".to_string(),
+            });
+        }
+        if n <= m || m < 1 {
+            return Err(CoreError::InvalidParameter {
+                name: "sutton-chen",
+                reason: format!("need n ({n}) > m ({m}) >= 1"),
+            });
+        }
+        Ok(SuttonChenEam {
+            epsilon,
+            a,
+            n,
+            m,
+            c,
+            cutoff,
+            rho: Vec::new(),
+            dembed: Vec::new(),
+            mode: PrecisionMode::Double,
+        })
+    }
+
+    /// The standard copper parameterization (Sutton & Chen 1990) with the
+    /// benchmark's 4.95 Å force cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the built-in parameters are valid.
+    pub fn copper() -> Self {
+        SuttonChenEam::new(1.2382e-2, 3.61, 9, 6, 39.432, 4.95).expect("valid Cu parameters")
+    }
+
+    /// Total potential energy of a finite cluster (reference/tests; O(N²)).
+    pub fn cluster_energy(&self, x: &[V3]) -> f64 {
+        let mut e_pair = 0.0;
+        let mut rho = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            for j in (i + 1)..x.len() {
+                let r = (x[i] - x[j]).norm();
+                if r < self.cutoff {
+                    e_pair += (self.a / r).powi(self.n);
+                    let d = (self.a / r).powi(self.m);
+                    rho[i] += d;
+                    rho[j] += d;
+                }
+            }
+        }
+        let embed: f64 = rho.iter().map(|&r| -self.c * r.sqrt()).sum();
+        self.epsilon * (e_pair + embed)
+    }
+}
+
+impl PairStyle for SuttonChenEam {
+    fn name(&self) -> &'static str {
+        "eam"
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn compute(&mut self, sys: &PairSystem<'_>, nl: &NeighborList, f: &mut [V3]) -> EnergyVirial {
+        let natoms = sys.x.len();
+        self.rho.clear();
+        self.rho.resize(natoms, 0.0);
+        let cut2 = self.cutoff * self.cutoff;
+        let mut e_pair = 0.0;
+
+        // Pass 1: densities + pair repulsion energy.
+        for i in 0..natoms {
+            let xi = sys.x[i];
+            for &j in nl.neighbors(i) {
+                let ju = j as usize;
+                let d = sys.bx.min_image(xi, sys.x[ju]);
+                let r2 = d.norm2();
+                if r2 >= cut2 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let ar = self.a / r;
+                e_pair += ar.powi(self.n);
+                let dens = ar.powi(self.m);
+                self.rho[i] += dens;
+                self.rho[ju] += dens;
+            }
+        }
+
+        // Embedding energy and its derivative.
+        self.dembed.clear();
+        self.dembed.resize(natoms, 0.0);
+        let mut e_embed = 0.0;
+        for i in 0..natoms {
+            let sqrt_rho = self.rho[i].max(1e-300).sqrt();
+            e_embed -= self.c * sqrt_rho;
+            self.dembed[i] = -self.c / (2.0 * sqrt_rho);
+        }
+
+        // Pass 2: forces.
+        let mut virial = 0.0;
+        for i in 0..natoms {
+            let xi = sys.x[i];
+            let mut fi = Vec3::zero();
+            for &j in nl.neighbors(i) {
+                let ju = j as usize;
+                let d = sys.bx.min_image(xi, sys.x[ju]);
+                let r2 = d.norm2();
+                if r2 >= cut2 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let ar = self.a / r;
+                // -dE/dr = [ n (a/r)^n + (F'_i + F'_j) m (a/r)^m ] / r  (times ε).
+                let dpair = self.n as f64 * ar.powi(self.n);
+                let ddens = self.m as f64 * ar.powi(self.m);
+                let fpair =
+                    self.epsilon * (dpair + (self.dembed[i] + self.dembed[ju]) * ddens) / r2;
+                let df = d * fpair;
+                fi += df;
+                f[ju] -= df;
+                virial += r2 * fpair;
+            }
+            f[i] += fi;
+        }
+
+        EnergyVirial {
+            evdwl: self.epsilon * e_pair + self.epsilon * e_embed,
+            ecoul: 0.0,
+            virial,
+        }
+    }
+
+    fn set_precision(&mut self, mode: PrecisionMode) {
+        self.mode = mode;
+    }
+
+    fn precision(&self) -> PrecisionMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::neighbor::NeighborListKind;
+    use md_core::{SimBox, UnitSystem};
+
+    /// Builds an fcc lattice with `cells³` unit cells at lattice constant `a0`.
+    fn fcc(cells: usize, a0: f64) -> (SimBox, Vec<V3>) {
+        let l = cells as f64 * a0;
+        let bx = SimBox::cubic(l);
+        let basis = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.5, 0.0),
+            Vec3::new(0.5, 0.0, 0.5),
+            Vec3::new(0.0, 0.5, 0.5),
+        ];
+        let mut x = Vec::new();
+        for cx in 0..cells {
+            for cy in 0..cells {
+                for cz in 0..cells {
+                    for b in basis {
+                        x.push(Vec3::new(
+                            (cx as f64 + b.x) * a0,
+                            (cy as f64 + b.y) * a0,
+                            (cz as f64 + b.z) * a0,
+                        ));
+                    }
+                }
+            }
+        }
+        (bx, x)
+    }
+
+    fn lattice_energy_per_atom(a0: f64) -> f64 {
+        let mut eam = SuttonChenEam::copper();
+        let (bx, x) = fcc(4, a0);
+        let mut nl = NeighborList::new(eam.cutoff(), 0.0, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        let v = vec![Vec3::zero(); x.len()];
+        let kinds = vec![0u32; x.len()];
+        let charge = vec![0.0; x.len()];
+        let radius = vec![0.0; x.len()];
+        let masses = vec![63.546];
+        let units = UnitSystem::metal();
+        let sys = PairSystem {
+            bx: &bx,
+            x: &x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.001,
+        };
+        let mut f = vec![Vec3::zero(); x.len()];
+        let e = eam.compute(&sys, &nl, &mut f);
+        // Perfect lattice: forces vanish by symmetry.
+        let max_f = f.iter().map(|fi| fi.norm()).fold(0.0f64, f64::max);
+        assert!(max_f < 1e-9, "net force on lattice atom: {max_f}");
+        e.evdwl / x.len() as f64
+    }
+
+    #[test]
+    fn copper_cohesive_energy_is_reasonable() {
+        // Experimental Cu cohesive energy is -3.54 eV/atom; Sutton-Chen with
+        // a truncated 4.95 Å cutoff lands within ~15%.
+        let e = lattice_energy_per_atom(3.615);
+        assert!(
+            (-4.2..=-2.9).contains(&e),
+            "cohesive energy {e} eV/atom out of range"
+        );
+    }
+
+    #[test]
+    fn lattice_constant_minimizes_energy_near_experiment() {
+        // Scan a0: the minimum must sit between 3.4 and 3.8 Å.
+        let scan: Vec<(f64, f64)> = (0..=16)
+            .map(|k| {
+                let a0 = 3.3 + 0.04 * k as f64;
+                (a0, lattice_energy_per_atom(a0))
+            })
+            .collect();
+        let (best_a0, _) = scan
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty");
+        assert!(
+            (3.4..=3.8).contains(&best_a0),
+            "energy minimum at a0 = {best_a0}"
+        );
+    }
+
+    #[test]
+    fn force_matches_numerical_derivative_on_cluster() {
+        // Free trimer: move one atom, compare force to -dE/dx numerically.
+        let eam = SuttonChenEam::copper();
+        let x = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(12.5, 10.0, 10.0),
+            Vec3::new(11.2, 12.1, 10.0),
+        ];
+        let bx = SimBox::cubic(40.0);
+        let mut nl = NeighborList::new(eam.cutoff(), 0.0, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        let v = vec![Vec3::zero(); 3];
+        let kinds = vec![0u32; 3];
+        let charge = vec![0.0; 3];
+        let radius = vec![0.0; 3];
+        let masses = vec![63.546];
+        let units = UnitSystem::metal();
+        let sys = PairSystem {
+            bx: &bx,
+            x: &x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.001,
+        };
+        let mut eam2 = eam.clone();
+        let mut f = vec![Vec3::zero(); 3];
+        eam2.compute(&sys, &nl, &mut f);
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut xp = x.clone();
+            xp[0][axis] += h;
+            let mut xm = x.clone();
+            xm[0][axis] -= h;
+            let dedx = (eam.cluster_energy(&xp) - eam.cluster_energy(&xm)) / (2.0 * h);
+            assert!(
+                (f[0][axis] + dedx).abs() < 1e-6,
+                "axis {axis}: F = {} vs -dE/dx = {}",
+                f[0][axis],
+                -dedx
+            );
+        }
+    }
+
+    #[test]
+    fn dimer_is_attractive_at_long_range() {
+        let eam = SuttonChenEam::copper();
+        let e_far = eam.cluster_energy(&[Vec3::zero(), Vec3::new(4.0, 0.0, 0.0)]);
+        let e_near = eam.cluster_energy(&[Vec3::zero(), Vec3::new(2.2, 0.0, 0.0)]);
+        assert!(e_far < 0.0, "dimer at 4.0 A should bind, E = {e_far}");
+        assert!(e_near < e_far, "shorter dimer should bind more strongly");
+    }
+
+    #[test]
+    fn rejects_bad_exponents() {
+        assert!(SuttonChenEam::new(0.01, 3.6, 6, 9, 39.0, 4.95).is_err());
+        assert!(SuttonChenEam::new(-0.01, 3.6, 9, 6, 39.0, 4.95).is_err());
+    }
+}

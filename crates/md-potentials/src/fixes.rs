@@ -1,0 +1,152 @@
+//! Simple post-force fixes: gravity (the chute driving force) and a freeze
+//! fix that immobilizes a particle type (the chute's packed base layer).
+
+use md_core::{Fix, PairSystem, Vec3, V3};
+
+/// Constant gravitational acceleration (LAMMPS `fix gravity`).
+///
+/// The Chute benchmark drives the flow with gravity tilted by the chute
+/// angle: use [`Gravity::chute`] for the deck's `gravity 1.0 chute 26.0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gravity {
+    g: V3,
+}
+
+impl Gravity {
+    /// Gravity with an explicit acceleration vector.
+    pub fn new(g: V3) -> Self {
+        Gravity { g }
+    }
+
+    /// LAMMPS `gravity <mag> chute <angle°>`: acceleration of magnitude
+    /// `mag` tilted `angle` degrees from -z toward +x.
+    pub fn chute(magnitude: f64, angle_deg: f64) -> Self {
+        let a = angle_deg.to_radians();
+        Gravity {
+            g: Vec3::new(magnitude * a.sin(), 0.0, -magnitude * a.cos()),
+        }
+    }
+
+    /// The acceleration vector.
+    pub fn acceleration(&self) -> V3 {
+        self.g
+    }
+}
+
+impl Fix for Gravity {
+    fn name(&self) -> &'static str {
+        "gravity"
+    }
+
+    fn post_force(&mut self, sys: &PairSystem<'_>, f: &mut [V3]) {
+        // F = m g, converted to force units (a = F ftm2v / m).
+        let mvv2e = sys.units.mvv2e;
+        for i in 0..f.len() {
+            f[i] += self.g * (sys.mass(i) * mvv2e);
+        }
+    }
+}
+
+/// Zeroes the force on atoms of one type each step, freezing them in place
+/// (LAMMPS `fix freeze`/`fix setforce 0 0 0`) provided their initial velocity
+/// is zero.
+#[derive(Debug, Clone, Copy)]
+pub struct Freeze {
+    kind: u32,
+}
+
+impl Freeze {
+    /// Freezes all atoms of type `kind`.
+    pub fn new(kind: u32) -> Self {
+        Freeze { kind }
+    }
+}
+
+impl Fix for Freeze {
+    fn name(&self) -> &'static str {
+        "freeze"
+    }
+
+    fn post_force(&mut self, sys: &PairSystem<'_>, f: &mut [V3]) {
+        for (i, &t) in sys.kinds.iter().enumerate() {
+            if t == self.kind {
+                f[i] = Vec3::zero();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::{SimBox, UnitSystem};
+
+    fn rig(kinds: Vec<u32>) -> (SimBox, Vec<V3>, Vec<V3>, Vec<u32>, UnitSystem) {
+        let n = kinds.len();
+        (
+            SimBox::cubic(10.0),
+            vec![Vec3::splat(5.0); n],
+            vec![Vec3::zero(); n],
+            kinds,
+            UnitSystem::lj(),
+        )
+    }
+
+    #[test]
+    fn chute_gravity_tilts_toward_x() {
+        let g = Gravity::chute(1.0, 26.0);
+        let a = g.acceleration();
+        assert!(a.x > 0.0 && a.z < 0.0 && a.y == 0.0);
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+        assert!((a.x / (-a.z) - 26f64.to_radians().tan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gravity_scales_with_mass() {
+        let (bx, x, v, kinds, units) = rig(vec![0, 1]);
+        let charge = vec![0.0; 2];
+        let radius = vec![0.0; 2];
+        let masses = vec![1.0, 3.0];
+        let sys = PairSystem {
+            bx: &bx,
+            x: &x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.005,
+        };
+        let mut f = vec![Vec3::zero(); 2];
+        let mut g = Gravity::new(Vec3::new(0.0, 0.0, -2.0));
+        g.post_force(&sys, &mut f);
+        assert!((f[0].z - (-2.0)).abs() < 1e-12);
+        assert!((f[1].z - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freeze_zeroes_only_its_type() {
+        let (bx, x, v, kinds, units) = rig(vec![0, 1, 0]);
+        let charge = vec![0.0; 3];
+        let radius = vec![0.0; 3];
+        let masses = vec![1.0, 1.0];
+        let sys = PairSystem {
+            bx: &bx,
+            x: &x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.005,
+        };
+        let mut f = vec![Vec3::splat(1.0); 3];
+        let mut freeze = Freeze::new(1);
+        freeze.post_force(&sys, &mut f);
+        assert_eq!(f[0], Vec3::splat(1.0));
+        assert_eq!(f[1], Vec3::zero());
+        assert_eq!(f[2], Vec3::splat(1.0));
+    }
+}

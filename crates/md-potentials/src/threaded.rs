@@ -1,0 +1,264 @@
+//! Shared-memory threaded pair computation — the "OpenMP level" of the
+//! LAMMPS INTEL package (paper Section 2.2: MPI spatial decomposition plus
+//! intra-task OpenMP; the authors found pure MPI faster for their runs, and
+//! this wrapper is how that comparison is reproduced here).
+//!
+//! [`Threaded`] splits the atom range across threads; each thread walks its
+//! atoms' neighbor lists into a private force buffer (so Newton's-third-law
+//! updates never race) and the buffers are reduced at the end — the standard
+//! force-decomposition scheme of threaded MD kernels.
+
+use md_core::neighbor::{NeighborList, NeighborListKind};
+use md_core::{CoreError, EnergyVirial, PairStyle, PairSystem, PrecisionMode, Vec3, V3};
+
+/// A pair style executed by a team of threads over private force buffers.
+///
+/// The wrapped style must be *chunk-safe*: evaluating a subset of the
+/// neighbor lists must produce that subset's exact force contributions.
+/// Purely pairwise styles (LJ, CHARMM) are; many-body EAM (inter-pass
+/// density reduction) and the history-keeping granular style (shared contact
+/// state) are not and are rejected at construction.
+pub struct Threaded<P> {
+    workers: Vec<P>,
+    nthreads: usize,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Threaded<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Threaded")
+            .field("nthreads", &self.nthreads)
+            .field("style", &self.workers.first())
+            .finish()
+    }
+}
+
+/// Styles that may be evaluated chunk-wise by [`Threaded`].
+///
+/// Implemented for the purely pairwise styles; sealed by construction (the
+/// trait is public so downstream styles can opt in, but the contract is
+/// documented above).
+pub trait ChunkSafe: PairStyle + Clone {}
+
+impl ChunkSafe for crate::LjCut {}
+impl ChunkSafe for crate::LjCharmmCoulLong {}
+
+impl<P: ChunkSafe> Threaded<P> {
+    /// Wraps `style`, replicating it per thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `nthreads` is zero.
+    pub fn new(style: P, nthreads: usize) -> Result<Self, CoreError> {
+        if nthreads == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "nthreads",
+                reason: "need at least one thread".to_string(),
+            });
+        }
+        Ok(Threaded {
+            workers: vec![style; nthreads],
+            nthreads,
+        })
+    }
+
+    /// Thread count.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+}
+
+/// A neighbor-list *view* restricted to a contiguous atom chunk: atoms
+/// outside the chunk present empty lists, so a chunk-safe style evaluates
+/// exactly the chunk's pairs.
+fn chunk_list(nl: &NeighborList, lo: usize, hi: usize) -> NeighborList {
+    // Rebuild a restricted list without re-searching: copy the slices.
+    let mut restricted = NeighborListRebuilder::new(nl.cutoff(), nl.skin(), nl.kind());
+    for i in 0..nl.natoms() {
+        if i >= lo && i < hi {
+            restricted.push(nl.neighbors(i));
+        } else {
+            restricted.push(&[]);
+        }
+    }
+    restricted.finish()
+}
+
+/// Internal helper assembling a NeighborList from per-atom slices through
+/// the public build API (a synthetic one-shot "build").
+struct NeighborListRebuilder {
+    cutoff: f64,
+    skin: f64,
+    kind: NeighborListKind,
+    offsets: Vec<usize>,
+    neigh: Vec<u32>,
+}
+
+impl NeighborListRebuilder {
+    fn new(cutoff: f64, skin: f64, kind: NeighborListKind) -> Self {
+        NeighborListRebuilder {
+            cutoff,
+            skin,
+            kind,
+            offsets: vec![0],
+            neigh: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, neighbors: &[u32]) {
+        self.neigh.extend_from_slice(neighbors);
+        self.offsets.push(self.neigh.len());
+    }
+
+    fn finish(self) -> NeighborList {
+        NeighborList::from_parts(self.cutoff, self.skin, self.kind, self.offsets, self.neigh)
+    }
+}
+
+impl<P: ChunkSafe + Send> PairStyle for Threaded<P> {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.workers[0].cutoff()
+    }
+
+    fn list_kind(&self) -> NeighborListKind {
+        self.workers[0].list_kind()
+    }
+
+    fn compute(&mut self, sys: &PairSystem<'_>, nl: &NeighborList, f: &mut [V3]) -> EnergyVirial {
+        let n = sys.x.len();
+        let t = self.nthreads.min(n.max(1));
+        if t <= 1 {
+            return self.workers[0].compute(sys, nl, f);
+        }
+        let chunk = n.div_ceil(t);
+        let mut buffers: Vec<Vec<V3>> = vec![vec![Vec3::zero(); n]; t];
+        let mut energies: Vec<EnergyVirial> = vec![EnergyVirial::default(); t];
+
+        crossbeam::thread::scope(|scope| {
+            for (k, (worker, (buf, energy))) in self
+                .workers
+                .iter_mut()
+                .zip(buffers.iter_mut().zip(energies.iter_mut()))
+                .enumerate()
+            {
+                let lo = k * chunk;
+                let hi = ((k + 1) * chunk).min(n);
+                let sys_ref = &*sys;
+                let nl_ref = nl;
+                scope.spawn(move |_| {
+                    if lo < hi {
+                        let restricted = chunk_list(nl_ref, lo, hi);
+                        *energy = worker.compute(sys_ref, &restricted, buf);
+                    }
+                });
+            }
+        })
+        .expect("force worker panicked");
+
+        let mut total = EnergyVirial::default();
+        for (buf, e) in buffers.iter().zip(&energies) {
+            for (fi, bi) in f.iter_mut().zip(buf) {
+                *fi += *bi;
+            }
+            total += *e;
+        }
+        total
+    }
+
+    fn set_precision(&mut self, mode: PrecisionMode) {
+        for w in &mut self.workers {
+            w.set_precision(mode);
+        }
+    }
+
+    fn precision(&self) -> PrecisionMode {
+        self.workers[0].precision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LjCut;
+    use md_core::{SimBox, UnitSystem};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rig(n: usize, seed: u64) -> (SimBox, Vec<V3>, NeighborList) {
+        let l = 12.0;
+        let bx = SimBox::cubic(l);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<V3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        (bx, x, nl)
+    }
+
+    fn forces(style: &mut dyn PairStyle, bx: &SimBox, x: &[V3], nl: &NeighborList) -> (Vec<V3>, EnergyVirial) {
+        let n = x.len();
+        let v = vec![Vec3::zero(); n];
+        let kinds = vec![0u32; n];
+        let charge = vec![0.0; n];
+        let radius = vec![0.0; n];
+        let masses = vec![1.0];
+        let units = UnitSystem::lj();
+        let sys = PairSystem {
+            bx,
+            x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.005,
+        };
+        let mut f = vec![Vec3::zero(); n];
+        let e = style.compute(&sys, nl, &mut f);
+        (f, e)
+    }
+
+    #[test]
+    fn threaded_forces_match_serial_for_any_thread_count() {
+        let (bx, x, nl) = rig(500, 3);
+        let mut serial = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap();
+        let (f0, e0) = forces(&mut serial, &bx, &x, &nl);
+        for t in [1usize, 2, 3, 4, 7] {
+            let mut threaded =
+                Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), t).unwrap();
+            let (f1, e1) = forces(&mut threaded, &bx, &x, &nl);
+            // Relative tolerances: the unscreened random gas has near-contact
+            // pairs with enormous r^-12 terms, so cross-thread summation
+            // order shifts the absolute values at the fp-associativity level.
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1.0);
+            assert!(rel(e0.evdwl, e1.evdwl) < 1e-12, "{t} threads: energy");
+            assert!(rel(e0.virial, e1.virial) < 1e-12, "{t} threads: virial");
+            for i in 0..x.len() {
+                assert!(
+                    (f0[i] - f1[i]).norm() < 1e-12 * f0[i].norm().max(1.0),
+                    "{t} threads: atom {i} force mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precision_plumbs_through() {
+        let mut threaded =
+            Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), 2).unwrap();
+        threaded.set_precision(PrecisionMode::Single);
+        assert_eq!(threaded.precision(), PrecisionMode::Single);
+        assert_eq!(threaded.cutoff(), 2.5);
+        assert_eq!(threaded.nthreads(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_threads() {
+        assert!(Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), 0).is_err());
+    }
+}

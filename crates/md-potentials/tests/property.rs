@@ -1,0 +1,149 @@
+//! Property-based tests for the force fields: every style must conserve
+//! momentum, agree with numerical energy derivatives, and respect its
+//! analytic special points over random inputs.
+
+use md_core::neighbor::{NeighborList, NeighborListKind};
+use md_core::{PairStyle, PairSystem, SimBox, UnitSystem, Vec3, V3};
+use md_potentials::{LjCharmmCoulLong, LjCut, MixingRule, SuttonChenEam};
+use proptest::prelude::*;
+
+struct Rig {
+    bx: SimBox,
+    x: Vec<V3>,
+    q: Vec<f64>,
+}
+
+impl Rig {
+    fn random(seed: u64, n: usize, l: f64, min_sep: f64) -> Rig {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bx = SimBox::cubic(l);
+        let mut x: Vec<V3> = Vec::new();
+        // Rejection-sample to keep a minimum separation (avoids overflow in
+        // r^-12 that would make derivative checks meaningless).
+        while x.len() < n {
+            let p = Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l);
+            if x.iter().all(|&o| bx.min_image(p, o).norm() > min_sep) {
+                x.push(p);
+            }
+        }
+        let q = (0..n).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        Rig { bx, x, q }
+    }
+
+    fn forces_and_energy(&self, style: &mut dyn PairStyle) -> (Vec<V3>, f64) {
+        let mut nl = NeighborList::new(style.cutoff(), 0.3, style.list_kind());
+        nl.build(&self.x, &self.bx).expect("valid geometry");
+        let n = self.x.len();
+        let v = vec![Vec3::zero(); n];
+        let kinds = vec![0u32; n];
+        let radius = vec![0.0; n];
+        let masses = vec![1.0];
+        let units = UnitSystem::real();
+        let sys = PairSystem {
+            bx: &self.bx,
+            x: &self.x,
+            v: &v,
+            kinds: &kinds,
+            charge: &self.q,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 1.0,
+        };
+        let mut f = vec![Vec3::zero(); n];
+        let e = style.compute(&sys, &nl, &mut f);
+        (f, e.energy())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LJ forces sum to zero (Newton's third law) on random configurations.
+    #[test]
+    fn lj_conserves_momentum(seed in 0u64..500) {
+        let rig = Rig::random(seed, 24, 10.0, 0.8);
+        let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap();
+        let (f, _) = rig.forces_and_energy(&mut lj);
+        let net = f.iter().fold(Vec3::zero(), |a, &b| a + b);
+        prop_assert!(net.norm() < 1e-9, "net force {net}");
+    }
+
+    /// LJ force equals the negative numerical gradient of the total energy.
+    #[test]
+    fn lj_force_is_energy_gradient(seed in 0u64..200) {
+        let rig = Rig::random(seed, 12, 9.0, 0.9);
+        let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap();
+        let (f, _) = rig.forces_and_energy(&mut lj);
+        let h = 1e-6;
+        // Check one random atom/axis per case (full loop is expensive).
+        let atom = (seed % 12) as usize;
+        let axis = (seed % 3) as usize;
+        let mut plus = Rig { bx: rig.bx, x: rig.x.clone(), q: rig.q.clone() };
+        plus.x[atom][axis] += h;
+        let mut minus = Rig { bx: rig.bx, x: rig.x.clone(), q: rig.q.clone() };
+        minus.x[atom][axis] -= h;
+        let (_, ep) = plus.forces_and_energy(&mut lj);
+        let (_, em) = minus.forces_and_energy(&mut lj);
+        let dedx = (ep - em) / (2.0 * h);
+        prop_assert!(
+            (f[atom][axis] + dedx).abs() < 1e-4 * dedx.abs().max(1.0),
+            "atom {atom} axis {axis}: {} vs {}",
+            f[atom][axis],
+            -dedx
+        );
+    }
+
+    /// CHARMM + truncated Coulomb also conserves momentum.
+    #[test]
+    fn charmm_conserves_momentum(seed in 0u64..300) {
+        let rig = Rig::random(seed, 20, 24.0, 1.5);
+        let mut style = LjCharmmCoulLong::new(1, &[(0, 0.1, 3.0)], 8.0, 10.0, 10.0).unwrap();
+        style.set_g_ewald(0.25);
+        let (f, _) = rig.forces_and_energy(&mut style);
+        let net = f.iter().fold(Vec3::zero(), |a, &b| a + b);
+        prop_assert!(net.norm() < 1e-9, "net force {net}");
+    }
+
+    /// EAM conserves momentum despite the many-body embedding term.
+    #[test]
+    fn eam_conserves_momentum(seed in 0u64..300) {
+        let rig = Rig::random(seed, 16, 14.0, 1.9);
+        let mut eam = SuttonChenEam::copper();
+        let (f, _) = rig.forces_and_energy(&mut eam);
+        let net = f.iter().fold(Vec3::zero(), |a, &b| a + b);
+        prop_assert!(net.norm() < 1e-9, "net force {net}");
+    }
+
+    /// Mixing rules: symmetric, fixed on like pairs, and ε positive.
+    #[test]
+    fn mixing_rules_invariants(
+        e1 in 0.01..5.0f64,
+        s1 in 0.5..4.0f64,
+        e2 in 0.01..5.0f64,
+        s2 in 0.5..4.0f64,
+    ) {
+        for rule in [MixingRule::Arithmetic, MixingRule::Geometric, MixingRule::SixthPower] {
+            let (ea, sa) = rule.mix(e1, s1, e2, s2);
+            let (eb, sb) = rule.mix(e2, s2, e1, s1);
+            prop_assert!((ea - eb).abs() < 1e-12 && (sa - sb).abs() < 1e-12);
+            prop_assert!(ea > 0.0 && sa > 0.0);
+            // Mixed sigma lies between the two pure sigmas.
+            prop_assert!(sa >= s1.min(s2) - 1e-12 && sa <= s1.max(s2) + 1e-12);
+        }
+    }
+
+    /// The LJ pair energy has its minimum at 2^{1/6}σ for any (ε, σ).
+    #[test]
+    fn lj_minimum_location(eps in 0.1..4.0f64, sigma in 0.6..2.0f64) {
+        let cutoff = 5.0 * sigma;
+        let lj = LjCut::new(1, &[(0, 0, eps, sigma)], cutoff).unwrap();
+        let rmin = 2.0f64.powf(1.0 / 6.0) * sigma;
+        let e_min = lj.pair_energy(0, 0, rmin);
+        prop_assert!((e_min + eps).abs() < 1e-9 * eps, "E(rmin) = {e_min}");
+        prop_assert!(lj.pair_energy(0, 0, rmin * 0.95) > e_min);
+        prop_assert!(lj.pair_energy(0, 0, rmin * 1.05) > e_min);
+    }
+}

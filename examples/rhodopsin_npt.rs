@@ -1,0 +1,48 @@
+//! The Rhodopsin-class deck: CHARMM-style pair forces, PPPM long-range
+//! electrostatics, SHAKE-constrained waters, Nose-Hoover NPT.
+//!
+//! ```text
+//! cargo run --release --example rhodopsin_npt
+//! ```
+
+use md_core::TaskKind;
+use md_workloads::{build_deck, Benchmark};
+
+fn main() -> Result<(), md_core::CoreError> {
+    let mut deck = build_deck(Benchmark::Rhodo, 1, 9)?;
+    let sim = &deck.simulation;
+    println!("atoms: {}", sim.atoms().len());
+    println!(
+        "topology: {} bonds, {} angles, {} dihedrals",
+        sim.atoms().bonds().len(),
+        sim.atoms().angles().len(),
+        sim.atoms().dihedrals().len()
+    );
+    println!("box: {}", sim.sim_box());
+    println!(
+        "neighbors/atom within cutoff: {:.0} (paper Table 2: 440)",
+        sim.neighbor_list().expect("pair style").stats().neighbors_within_cutoff
+    );
+
+    println!("\nrunning 10 NPT steps with SHAKE + PPPM (this exercises the");
+    println!("slowest per-step path of the whole suite)...\n");
+    for _ in 0..5 {
+        deck.simulation.run(2)?;
+        let t = deck.simulation.thermo();
+        println!("{t}");
+    }
+
+    let ledger = deck.simulation.ledger();
+    println!("\ntask shares:");
+    for task in TaskKind::ALL {
+        let pct = ledger.percent(task);
+        if pct > 0.5 {
+            println!("  {:<8} {:>5.1}%", task.label(), pct);
+        }
+    }
+    println!(
+        "\nkspace active: reciprocal Coulomb energy {:.1} kcal/mol",
+        deck.simulation.energy().ecoul
+    );
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! The decomposition correctness contract: forces computed per-rank over
+//! owned + ghost atoms must equal the single-process result.
+
+use md_core::neighbor::{NeighborList, NeighborListKind};
+use md_core::{PairStyle, PairSystem, SimBox, UnitSystem, Vec3, V3};
+use md_parallel::{Decomposition, GhostExchange, WorkloadCensus};
+use md_potentials::LjCut;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_system(n: usize, l: f64, seed: u64) -> (SimBox, Vec<V3>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bx = SimBox::cubic(l);
+    let x = (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect();
+    (bx, x)
+}
+
+fn serial_forces(bx: &SimBox, x: &[V3], cutoff: f64) -> Vec<V3> {
+    let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], cutoff).unwrap();
+    let mut nl = NeighborList::new(cutoff, 0.0, NeighborListKind::Half);
+    nl.build(x, bx).unwrap();
+    let v = vec![Vec3::zero(); x.len()];
+    let kinds = vec![0u32; x.len()];
+    let charge = vec![0.0; x.len()];
+    let radius = vec![0.0; x.len()];
+    let masses = vec![1.0];
+    let units = UnitSystem::lj();
+    let sys = PairSystem {
+        bx,
+        x,
+        v: &v,
+        kinds: &kinds,
+        charge: &charge,
+        radius: &radius,
+        mass_by_type: &masses,
+        units: &units,
+        dt: 0.005,
+    };
+    let mut f = vec![Vec3::zero(); x.len()];
+    lj.compute(&sys, &nl, &mut f);
+    f
+}
+
+/// Per-rank force computation over owned + ghosts, Newton off across ranks.
+fn decomposed_forces(bx: &SimBox, x: &[V3], cutoff: f64, ranks: usize) -> Vec<V3> {
+    let d = Decomposition::new(*bx, ranks).unwrap();
+    let exchange = GhostExchange::build(&d, x, cutoff);
+    let mut f_global = vec![Vec3::zero(); x.len()];
+    for r in 0..ranks {
+        let rank = exchange.rank(r);
+        // Local arrays: owned first, then ghosts (with shifted coordinates).
+        let mut local_x: Vec<V3> = rank.owned.iter().map(|&i| x[i]).collect();
+        local_x.extend(rank.ghosts.iter().map(|&(_, p)| p));
+        let nlocal = rank.owned.len();
+        let nall = local_x.len();
+        if nall == 0 {
+            continue;
+        }
+        // A non-periodic bounding box around owned + ghosts: ghost copies
+        // are already in the subdomain's frame, so no wraparound is needed.
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for p in &local_x {
+            for k in 0..3 {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        let pad = cutoff + 1.0;
+        let local_bx = SimBox::new(lo - Vec3::splat(pad), hi + Vec3::splat(pad))
+            .unwrap()
+            .with_periodicity(false, false, false);
+        // Half list over owned + ghosts: every pair involving an owned atom
+        // appears exactly once, so the owned entries accumulate their
+        // complete forces; partial forces landing on ghost entries are what
+        // real MPI reverse communication would ship back to the owners.
+        let mut nl = NeighborList::new(cutoff, 0.0, NeighborListKind::Half);
+        nl.build(&local_x, &local_bx).unwrap();
+        let mut lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], cutoff).unwrap();
+        let v = vec![Vec3::zero(); nall];
+        let kinds = vec![0u32; nall];
+        let charge = vec![0.0; nall];
+        let radius = vec![0.0; nall];
+        let masses = vec![1.0];
+        let units = UnitSystem::lj();
+        let sys = PairSystem {
+            bx: &local_bx,
+            x: &local_x,
+            v: &v,
+            kinds: &kinds,
+            charge: &charge,
+            radius: &radius,
+            mass_by_type: &masses,
+            units: &units,
+            dt: 0.005,
+        };
+        let mut f_local = vec![Vec3::zero(); nall];
+        lj.compute(&sys, &nl, &mut f_local);
+        // Owned entries carry the complete force for the owned atom.
+        for (k, &gi) in rank.owned.iter().enumerate() {
+            debug_assert!(k < nlocal);
+            f_global[gi] = f_local[k];
+        }
+    }
+    f_global
+}
+
+#[test]
+fn decomposed_forces_match_serial_for_8_ranks() {
+    let (bx, x) = random_system(600, 12.0, 21);
+    let cutoff = 2.0;
+    let serial = serial_forces(&bx, &x, cutoff);
+    let decomposed = decomposed_forces(&bx, &x, cutoff, 8);
+    for i in 0..x.len() {
+        let d = (serial[i] - decomposed[i]).norm();
+        assert!(
+            d < 1e-9 * serial[i].norm().max(1.0),
+            "atom {i}: serial {} vs decomposed {}",
+            serial[i],
+            decomposed[i]
+        );
+    }
+}
+
+#[test]
+fn decomposed_forces_match_serial_for_anisotropic_grid() {
+    let (bx, x) = random_system(400, 10.0, 5);
+    let cutoff = 1.5;
+    let serial = serial_forces(&bx, &x, cutoff);
+    for ranks in [2usize, 3, 6, 12] {
+        let decomposed = decomposed_forces(&bx, &x, cutoff, ranks);
+        // Relative tolerance: unscreened random gases contain near-contact
+        // pairs whose near-singular r^-13 forces amplify the one-ulp
+        // difference between `(a-b)+L` (serial minimum image) and `a-(b-L)`
+        // (pre-shifted ghost coordinates).
+        let max_rel = (0..x.len())
+            .map(|i| (serial[i] - decomposed[i]).norm() / serial[i].norm().max(1.0))
+            .fold(0.0f64, f64::max);
+        assert!(max_rel < 1e-9, "ranks {ranks}: max relative force error {max_rel}");
+    }
+}
+
+#[test]
+fn census_ghosts_match_explicit_exchange() {
+    let (bx, x) = random_system(1500, 16.0, 9);
+    let d = Decomposition::new(bx, 16).unwrap();
+    let exchange = GhostExchange::build(&d, &x, 1.8);
+    let census = WorkloadCensus::measure(&d, &x, 1.8);
+    for r in 0..16 {
+        assert_eq!(census.loads()[r].owned, exchange.rank(r).owned.len(), "rank {r} owned");
+        assert_eq!(census.loads()[r].ghosts, exchange.rank(r).ghosts.len(), "rank {r} ghosts");
+    }
+}
