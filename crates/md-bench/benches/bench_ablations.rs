@@ -46,7 +46,9 @@ fn ablation_skin(c: &mut Criterion) {
                     atoms.set_masses(vec![1.0]);
                     md_core::compute::seed_velocities(&mut atoms, &UnitSystem::lj(), 1.44, 9);
                     Simulation::builder(bx, atoms, UnitSystem::lj())
-                        .pair(Box::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid")))
+                        .pair(Box::new(
+                            LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).expect("valid"),
+                        ))
                         .skin(skin)
                         .dt(0.005)
                         .build()
@@ -119,7 +121,9 @@ fn ablation_newton(c: &mut Criterion) {
 fn ablation_kspace(c: &mut Criterion) {
     let mut group = quick(c, "ablation_kspace");
     let (bx, x) = random_gas(512, 0.05, 8);
-    let q: Vec<f64> = (0..x.len()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let q: Vec<f64> = (0..x.len())
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let cutoff = 0.45 * bx.min_periodic_extent();
     group.bench_function("ewald", |b| {
         let mut solver = Ewald::new(cutoff, 1e-4);

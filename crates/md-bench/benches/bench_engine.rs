@@ -110,9 +110,21 @@ fn bench_shake(c: &mut Criterion) {
         atoms.push(Vec3::new(cx, cy, cz), Vec3::zero(), 0);
         atoms.push(Vec3::new(cx + 0.99, cy, cz), Vec3::zero(), 1);
         atoms.push(Vec3::new(cx - 0.3, cy + 0.93, cz), Vec3::zero(), 1);
-        constraints.push(ShakeParams { i: o, j: o + 1, length: 0.9572 });
-        constraints.push(ShakeParams { i: o, j: o + 2, length: 0.9572 });
-        constraints.push(ShakeParams { i: o + 1, j: o + 2, length: 1.5139 });
+        constraints.push(ShakeParams {
+            i: o,
+            j: o + 1,
+            length: 0.9572,
+        });
+        constraints.push(ShakeParams {
+            i: o,
+            j: o + 2,
+            length: 0.9572,
+        });
+        constraints.push(ShakeParams {
+            i: o + 1,
+            j: o + 2,
+            length: 1.5139,
+        });
     }
     atoms.set_masses(vec![16.0, 1.0]);
     group.bench_function("water_1k", |b| {

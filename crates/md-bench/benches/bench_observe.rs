@@ -1,0 +1,141 @@
+//! md-observe overhead guard: the instrumentation hooks are compiled into
+//! every `Simulation::step`, so a *disabled* recorder must be effectively
+//! free. This target measures (a) the raw cost of one disabled hook, (b) an
+//! enabled span for contrast, and (c) full deck steps with the recorder
+//! disabled vs enabled — and asserts that the disabled hooks account for at
+//! most 2% of a measured step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_observe::{ObserveConfig, Recorder};
+use std::time::{Duration, Instant};
+
+/// Upper bound on instrumentation call sites executed per engine step
+/// (Pair + Bond + Kspace + 5 PPPM sub-spans + 2×Modify + Neigh + Output +
+/// counters/gauges/histograms in `record_step_sample`).
+const HOOKS_PER_STEP: u64 = 24;
+
+/// Tolerated disabled-instrumentation share of one step.
+const MAX_OVERHEAD_FRACTION: f64 = 0.02;
+
+fn time_per_iter(iters: u64, mut body: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    t0.elapsed() / iters.max(1) as u32
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_hook");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    let off = Recorder::disabled();
+    group.bench_function("disabled_record_span", |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            off.record_span(0, "task", "Pair", t0, 1e-6);
+            off.is_enabled()
+        })
+    });
+    let on = Recorder::new(ObserveConfig {
+        enabled: true,
+        ..ObserveConfig::default()
+    });
+    group.bench_function("enabled_record_span", |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            on.record_span(0, "task", "Pair", t0, 1e-6);
+            on.event_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_deck_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_deck_step");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(400));
+    for (label, recorder) in [
+        ("lj_disabled", Recorder::disabled()),
+        (
+            "lj_enabled",
+            Recorder::new(ObserveConfig {
+                enabled: true,
+                ..ObserveConfig::default()
+            }),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut deck =
+                md_workloads::build_deck(md_workloads::Benchmark::Lj, 1, 3).expect("deck builds");
+            deck.simulation.set_recorder(recorder.clone());
+            deck.simulation.run(5).expect("warmup");
+            b.iter(|| deck.simulation.run(1).expect("step runs").steps)
+        });
+    }
+    group.finish();
+}
+
+/// Hard guard: `HOOKS_PER_STEP` disabled hook calls must cost at most
+/// `MAX_OVERHEAD_FRACTION` of one measured engine step. Runs as a benchmark
+/// so `cargo bench --bench bench_observe` fails loudly on a regression
+/// (e.g. someone putting an allocation ahead of the enabled check).
+fn guard_disabled_overhead(c: &mut Criterion) {
+    let off = Recorder::disabled();
+    let hook = time_per_iter(4_000_000, || {
+        let t0 = Instant::now();
+        off.record_span(0, "task", "Pair", t0, 1e-6);
+    });
+
+    let mut deck =
+        md_workloads::build_deck(md_workloads::Benchmark::Lj, 1, 3).expect("deck builds");
+    deck.simulation.set_recorder(off.clone());
+    deck.simulation.run(5).expect("warmup");
+    let step = time_per_iter(30, || {
+        deck.simulation.run(1).expect("step runs");
+    });
+
+    let overhead = hook.as_secs_f64() * HOOKS_PER_STEP as f64;
+    let fraction = overhead / step.as_secs_f64().max(1e-12);
+    println!(
+        "observe_guard: disabled hook {:.1} ns x {HOOKS_PER_STEP} = {:.2} us \
+         vs step {:.1} us ({:.4}% of step)",
+        hook.as_secs_f64() * 1e9,
+        overhead * 1e6,
+        step.as_secs_f64() * 1e6,
+        fraction * 100.0
+    );
+    assert!(
+        fraction <= MAX_OVERHEAD_FRACTION,
+        "disabled md-observe hooks cost {:.3}% of a step (budget {:.0}%)",
+        fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0
+    );
+    // Keep the group non-empty so the report shows the guard ran.
+    let mut group = c.benchmark_group("observe_guard");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("hook_x24_disabled", |b| {
+        b.iter(|| {
+            for _ in 0..HOOKS_PER_STEP {
+                let t0 = Instant::now();
+                off.record_span(0, "task", "Pair", t0, 1e-6);
+            }
+            off.is_enabled()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hooks,
+    bench_deck_steps,
+    guard_disabled_overhead
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! * `bench_engine` — engine micro-benchmarks (pair kernel, neighbor build,
 //!   FFT, SHAKE).
 
-use md_core::{AtomStore, SimBox, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, SimBox, UnitSystem, Vec3, V3};
 
 /// A reproducible random gas at a given reduced density (benchmark fixture).
 pub fn random_gas(n: usize, density: f64, seed: u64) -> (SimBox, Vec<V3>) {

@@ -154,7 +154,11 @@ impl VelocityAutocorrelation {
     /// Captures the current velocities as the correlation origin.
     pub fn new(atoms: &AtomStore) -> Self {
         let v0: Vec<V3> = atoms.v().to_vec();
-        let norm = v0.iter().map(|v| v.norm2()).sum::<f64>().max(f64::MIN_POSITIVE);
+        let norm = v0
+            .iter()
+            .map(|v| v.norm2())
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
         VelocityAutocorrelation { v0, norm }
     }
 
@@ -165,12 +169,7 @@ impl VelocityAutocorrelation {
     /// Panics if the atom count changed since the origin snapshot.
     pub fn value(&self, atoms: &AtomStore) -> f64 {
         assert_eq!(atoms.len(), self.v0.len(), "atom count changed");
-        let dot: f64 = atoms
-            .v()
-            .iter()
-            .zip(&self.v0)
-            .map(|(a, b)| a.dot(*b))
-            .sum();
+        let dot: f64 = atoms.v().iter().zip(&self.v0).map(|(a, b)| a.dot(*b)).sum();
         dot / self.norm
     }
 }
@@ -201,7 +200,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let bx = SimBox::cubic(l);
         let x = (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
             .collect();
         (bx, x)
     }

@@ -386,7 +386,10 @@ impl AtomStore {
             if !check(a.i) || !check(a.j) || !check(a.k) {
                 return Err(CoreError::InvalidParameter {
                     name: "angle",
-                    reason: format!("angle ({}, {}, {}) references a missing atom", a.i, a.j, a.k),
+                    reason: format!(
+                        "angle ({}, {}, {}) references a missing atom",
+                        a.i, a.j, a.k
+                    ),
                 });
             }
         }
@@ -428,7 +431,10 @@ mod tests {
         let mut s = two_atom_store();
         s.push(Vec3::zero(), Vec3::zero(), 7);
         let err = s.validate().unwrap_err();
-        assert!(matches!(err, CoreError::UnknownAtomType { atom_type: 7, .. }));
+        assert!(matches!(
+            err,
+            CoreError::UnknownAtomType { atom_type: 7, .. }
+        ));
     }
 
     #[test]

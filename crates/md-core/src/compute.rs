@@ -142,7 +142,9 @@ mod tests {
         let mut k = 0u64;
         for _ in 0..n {
             // Deterministic pseudo-random lattice jitter.
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = |k: u64, s: u64| ((k >> s) & 0xffff) as f64 / 65536.0;
             a.push(
                 Vec3::new(10.0 * r(k, 0), 10.0 * r(k, 16), 10.0 * r(k, 32)),

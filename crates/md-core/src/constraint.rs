@@ -146,8 +146,16 @@ mod tests {
         let (mut a, bx) = water_like();
         let mut shake = Shake::new(
             vec![
-                ShakeParams { i: 0, j: 1, length: 1.0 },
-                ShakeParams { i: 0, j: 2, length: 1.0 },
+                ShakeParams {
+                    i: 0,
+                    j: 1,
+                    length: 1.0,
+                },
+                ShakeParams {
+                    i: 0,
+                    j: 2,
+                    length: 1.0,
+                },
             ],
             1e-8,
             100,
@@ -165,11 +173,22 @@ mod tests {
         let (mut a, bx) = water_like();
         let o_before = a.x()[0];
         let h_before = a.x()[1];
-        let mut shake = Shake::new(vec![ShakeParams { i: 0, j: 1, length: 1.0 }], 1e-10, 100);
+        let mut shake = Shake::new(
+            vec![ShakeParams {
+                i: 0,
+                j: 1,
+                length: 1.0,
+            }],
+            1e-10,
+            100,
+        );
         shake.apply(&mut a, &bx, 0.001).unwrap();
         let o_moved = (a.x()[0] - o_before).norm();
         let h_moved = (a.x()[1] - h_before).norm();
-        assert!(o_moved < h_moved / 10.0, "O moved {o_moved}, H moved {h_moved}");
+        assert!(
+            o_moved < h_moved / 10.0,
+            "O moved {o_moved}, H moved {h_moved}"
+        );
     }
 
     #[test]
@@ -177,7 +196,15 @@ mod tests {
         let (mut a, bx) = water_like();
         let dt = 0.002;
         let x_before = a.x()[1];
-        let mut shake = Shake::new(vec![ShakeParams { i: 0, j: 1, length: 1.0 }], 1e-10, 100);
+        let mut shake = Shake::new(
+            vec![ShakeParams {
+                i: 0,
+                j: 1,
+                length: 1.0,
+            }],
+            1e-10,
+            100,
+        );
         shake.apply(&mut a, &bx, dt).unwrap();
         let dx = a.x()[1] - x_before;
         assert!((a.v()[1] - dx * (1.0 / dt)).norm() < 1e-12);
@@ -189,14 +216,25 @@ mod tests {
         // Impossible pair of constraints: same atoms, two different lengths.
         let mut shake = Shake::new(
             vec![
-                ShakeParams { i: 0, j: 1, length: 1.0 },
-                ShakeParams { i: 0, j: 1, length: 2.0 },
+                ShakeParams {
+                    i: 0,
+                    j: 1,
+                    length: 1.0,
+                },
+                ShakeParams {
+                    i: 0,
+                    j: 1,
+                    length: 2.0,
+                },
             ],
             1e-10,
             20,
         );
         let err = shake.apply(&mut a, &bx, 0.001).unwrap_err();
-        assert!(matches!(err, CoreError::NoConvergence { what: "shake", .. }));
+        assert!(matches!(
+            err,
+            CoreError::NoConvergence { what: "shake", .. }
+        ));
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl fmt::Display for CoreError {
                 what,
                 expected,
                 found,
-            } => write!(f, "length mismatch for {what}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "length mismatch for {what}: expected {expected}, found {found}"
+            ),
             CoreError::CutoffTooLarge { range, min_extent } => write!(
                 f,
                 "interaction range {range} exceeds half the smallest box extent {min_extent}"

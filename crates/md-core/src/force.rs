@@ -196,6 +196,11 @@ pub trait KspaceStyle: Send {
 
     /// Mesh statistics for the performance model.
     fn stats(&self) -> KspaceStats;
+
+    /// Attaches an observability recorder so the solver can emit
+    /// kernel-phase sub-spans (charge assignment, FFTs, interpolation)
+    /// under the `Kspace` task. Solvers without internal phases ignore it.
+    fn set_recorder(&mut self, _recorder: md_observe::Recorder) {}
 }
 
 #[cfg(test)]

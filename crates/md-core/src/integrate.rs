@@ -32,10 +32,20 @@ pub trait Integrator: Send {
     fn name(&self) -> &'static str;
 
     /// First half-kick and drift: `v += (dt/2) f/m`, `x += dt v`.
-    fn initial_integrate(&mut self, atoms: &mut AtomStore, bx: &mut SimBox, ctx: &IntegrateContext<'_>);
+    fn initial_integrate(
+        &mut self,
+        atoms: &mut AtomStore,
+        bx: &mut SimBox,
+        ctx: &IntegrateContext<'_>,
+    );
 
     /// Second half-kick: `v += (dt/2) f/m`, plus any thermostat/barostat work.
-    fn final_integrate(&mut self, atoms: &mut AtomStore, bx: &mut SimBox, ctx: &IntegrateContext<'_>);
+    fn final_integrate(
+        &mut self,
+        atoms: &mut AtomStore,
+        bx: &mut SimBox,
+        ctx: &IntegrateContext<'_>,
+    );
 }
 
 /// Plain velocity-Verlet NVE integration (`fix nve`).
@@ -172,7 +182,8 @@ impl Integrator for NoseHooverNpt {
         let dt = ctx.dt;
         // Thermostat half-update: dξ/dt = (T/T0 - 1) / Tdamp².
         let t_cur = temperature(atoms, ctx.units);
-        self.xi += 0.5 * dt * (t_cur / self.params.t_target - 1.0) / (self.params.t_damp * self.params.t_damp);
+        self.xi += 0.5 * dt * (t_cur / self.params.t_target - 1.0)
+            / (self.params.t_damp * self.params.t_damp);
         let scale = (-self.xi * 0.5 * dt).exp();
         for v in atoms.v_mut() {
             *v *= scale;
@@ -185,8 +196,7 @@ impl Integrator for NoseHooverNpt {
         let p_cur = pressure(atoms, ctx.units, bx, ctx.virial);
         // Normalize the pressure error by the instantaneous kinetic pressure
         // scale so the strain rate is dimensionless per unit time.
-        let n_kt = (atoms.len() as f64 * ctx.units.boltzmann * self.params.t_target
-            / bx.volume()
+        let n_kt = (atoms.len() as f64 * ctx.units.boltzmann * self.params.t_target / bx.volume()
             * ctx.units.nktv2p)
             .max(f64::MIN_POSITIVE);
         let drive = (p_cur - self.params.p_target) / n_kt;
@@ -212,7 +222,8 @@ impl Integrator for NoseHooverNpt {
         let dt = ctx.dt;
         half_kick(atoms, dt, ctx.units);
         let t_cur = temperature(atoms, ctx.units);
-        self.xi += 0.5 * dt * (t_cur / self.params.t_target - 1.0) / (self.params.t_damp * self.params.t_damp);
+        self.xi += 0.5 * dt * (t_cur / self.params.t_target - 1.0)
+            / (self.params.t_damp * self.params.t_damp);
         let scale = (-self.xi * 0.5 * dt).exp();
         for v in atoms.v_mut() {
             *v *= scale;
@@ -280,7 +291,9 @@ mod tests {
         let mut a = AtomStore::new();
         let mut seed = 1u64;
         for i in 0..512 {
-            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            seed = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let r = |s: u64, sh: u32| ((s >> sh) & 0x3ff) as f64 / 1024.0;
             let _ = i;
             a.push(
@@ -311,7 +324,10 @@ mod tests {
             npt.final_integrate(&mut a, &mut bx, &ctx);
         }
         let t = temperature(&a, &u);
-        assert!((t - 1.0).abs() < 0.25, "temperature {t} did not relax to 1.0");
+        assert!(
+            (t - 1.0).abs() < 0.25,
+            "temperature {t} did not relax to 1.0"
+        );
     }
 
     #[test]

@@ -62,9 +62,9 @@ pub use simbox::SimBox;
 pub use simulation::{Simulation, SimulationBuilder, StepReport};
 pub use task::{TaskKind, TaskLedger};
 pub use thermostat::Langevin;
-pub use velocity::{BerendsenThermostat, TempRescale};
 pub use units::UnitSystem;
 pub use vec3::Vec3;
+pub use velocity::{BerendsenThermostat, TempRescale};
 
 /// Convenience alias for the engine's state-precision vector (always `f64`).
 pub type V3 = Vec3<f64>;

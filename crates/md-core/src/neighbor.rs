@@ -91,12 +91,24 @@ impl NeighborList {
         offsets: Vec<usize>,
         neigh: Vec<u32>,
     ) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
-        assert_eq!(*offsets.last().expect("nonempty"), neigh.len(), "offsets must cover neigh");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        let mut stats = NeighborBuildStats::default();
-        stats.builds = 1;
-        stats.pairs = neigh.len();
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
+        assert_eq!(
+            *offsets.last().expect("nonempty"),
+            neigh.len(),
+            "offsets must cover neigh"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        let stats = NeighborBuildStats {
+            builds: 1,
+            pairs: neigh.len(),
+            ..NeighborBuildStats::default()
+        };
         NeighborList {
             cutoff,
             skin,
@@ -367,7 +379,13 @@ mod tests {
     fn random_positions(n: usize, l: f64, seed: u64) -> Vec<V3> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
             .collect()
     }
 
@@ -375,7 +393,11 @@ mod tests {
         let mut s = std::collections::BTreeSet::new();
         for i in 0..nl.natoms() {
             for &j in nl.neighbors(i) {
-                let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+                let (a, b) = if (i as u32) < j {
+                    (i as u32, j)
+                } else {
+                    (j, i as u32)
+                };
                 s.insert((a, b));
             }
         }

@@ -132,11 +132,14 @@ impl_real!(f32);
 impl_real!(f64);
 
 /// Floating-point strategy for pairwise force kernels (paper Section 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
 pub enum PrecisionMode {
     /// `f32` arithmetic, `f32` accumulation.
     Single,
     /// `f32` arithmetic, `f64` force accumulation (the LAMMPS default).
+    #[default]
     Mixed,
     /// `f64` arithmetic throughout.
     Double,
@@ -144,8 +147,11 @@ pub enum PrecisionMode {
 
 impl PrecisionMode {
     /// All modes, in the order the paper reports them.
-    pub const ALL: [PrecisionMode; 3] =
-        [PrecisionMode::Single, PrecisionMode::Mixed, PrecisionMode::Double];
+    pub const ALL: [PrecisionMode; 3] = [
+        PrecisionMode::Single,
+        PrecisionMode::Mixed,
+        PrecisionMode::Double,
+    ];
 
     /// Short lowercase label used in figure legends ("single", "mixed", "double").
     pub fn label(self) -> &'static str {
@@ -170,12 +176,6 @@ impl PrecisionMode {
             PrecisionMode::Single => 4,
             PrecisionMode::Mixed | PrecisionMode::Double => 8,
         }
-    }
-}
-
-impl Default for PrecisionMode {
-    fn default() -> Self {
-        PrecisionMode::Mixed
     }
 }
 

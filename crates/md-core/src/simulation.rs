@@ -27,7 +27,11 @@ use crate::task::{TaskKind, TaskLedger};
 use crate::units::UnitSystem;
 use crate::vec3::Vec3;
 use crate::V3;
+use md_observe::{Recorder, StepSample, NUM_TASKS};
 use std::time::Instant;
+
+/// Trace lane of the real engine (virtual ranks use lanes `1..`).
+const ENGINE_LANE: u32 = 0;
 
 /// Summary of a [`Simulation::run`] call.
 #[derive(Debug, Clone)]
@@ -70,6 +74,14 @@ pub struct Simulation {
     thermo_every: u64,
     energy: EnergyVirial,
     thermo_log: Vec<ThermoState>,
+    recorder: Recorder,
+    /// Step index of the most recent neighbor rebuild (for the
+    /// rebuild-interval histogram).
+    last_rebuild_step: u64,
+    /// Total energy at the first thermo sample (drift reference).
+    energy_first: Option<f64>,
+    /// Most recently computed relative energy drift.
+    last_drift: f64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -144,6 +156,22 @@ impl Simulation {
         &self.thermo_log
     }
 
+    /// The attached observability recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Attaches an observability recorder after construction. The handle is
+    /// shared with the k-space solver (if any), which emits kernel-phase
+    /// sub-spans on the same timeline.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        recorder.set_lane_name(ENGINE_LANE, "engine");
+        if let Some(ks) = self.kspace.as_mut() {
+            ks.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
     /// Computes the instantaneous thermodynamic state.
     pub fn thermo(&self) -> ThermoState {
         ThermoState {
@@ -183,19 +211,31 @@ impl Simulation {
                 dt: self.dt,
             };
             energy += pair.compute(&sys, nl, &mut self.forces);
-            self.ledger.add(TaskKind::Pair, t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            self.ledger.add(TaskKind::Pair, dt);
+            self.recorder
+                .record_span(ENGINE_LANE, "task", "Pair", t0, dt);
         }
 
         // Bonded (task VII).
         let t0 = Instant::now();
         let mut bonded_any = false;
         if let Some(bond) = self.bond.as_mut() {
-            energy += bond.compute(&self.bx, self.atoms.x(), self.atoms.bonds(), &mut self.forces);
+            energy += bond.compute(
+                &self.bx,
+                self.atoms.x(),
+                self.atoms.bonds(),
+                &mut self.forces,
+            );
             bonded_any = true;
         }
         if let Some(angle) = self.angle.as_mut() {
-            energy +=
-                angle.compute(&self.bx, self.atoms.x(), self.atoms.angles(), &mut self.forces);
+            energy += angle.compute(
+                &self.bx,
+                self.atoms.x(),
+                self.atoms.angles(),
+                &mut self.forces,
+            );
             bonded_any = true;
         }
         if let Some(dihedral) = self.dihedral.as_mut() {
@@ -208,7 +248,10 @@ impl Simulation {
             bonded_any = true;
         }
         if bonded_any {
-            self.ledger.add(TaskKind::Bond, t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            self.ledger.add(TaskKind::Bond, dt);
+            self.recorder
+                .record_span(ENGINE_LANE, "task", "Bond", t0, dt);
         }
 
         // K-space (task VI).
@@ -220,7 +263,10 @@ impl Simulation {
                 self.atoms.charges(),
                 &mut self.forces,
             );
-            self.ledger.add(TaskKind::Kspace, t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            self.ledger.add(TaskKind::Kspace, dt);
+            self.recorder
+                .record_span(ENGINE_LANE, "task", "Kspace", t0, dt);
         }
 
         // Post-force fixes (Modify).
@@ -240,7 +286,10 @@ impl Simulation {
             for fix in &mut self.fixes {
                 fix.post_force(&sys, &mut self.forces);
             }
-            self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            self.ledger.add(TaskKind::Modify, dt);
+            self.recorder
+                .record_span(ENGINE_LANE, "task", "Modify", t0, dt);
         }
 
         self.atoms.f_mut().copy_from_slice(&self.forces);
@@ -248,14 +297,15 @@ impl Simulation {
     }
 
     /// Rebuilds the neighbor list if the displacement trigger fired, wrapping
-    /// positions into the box first (task III / boundary step II).
+    /// positions into the box first (task III / boundary step II). Returns
+    /// whether a rebuild happened.
     ///
     /// # Errors
     ///
     /// Propagates neighbor-build failures (cutoff too large for the box).
-    fn refresh_neighbors(&mut self, force_build: bool) -> Result<()> {
+    fn refresh_neighbors(&mut self, force_build: bool) -> Result<bool> {
         let Some(nl) = self.neighbor.as_mut() else {
-            return Ok(());
+            return Ok(false);
         };
         let t0 = Instant::now();
         let rebuild = force_build || nl.needs_rebuild(self.atoms.x(), &self.bx);
@@ -270,8 +320,11 @@ impl Simulation {
             let atoms = &self.atoms;
             nl.build_with(atoms.x(), &self.bx, |i| atoms.exclusions(i))?;
         }
-        self.ledger.add(TaskKind::Neigh, t0.elapsed().as_secs_f64());
-        Ok(())
+        let dt = t0.elapsed().as_secs_f64();
+        self.ledger.add(TaskKind::Neigh, dt);
+        self.recorder
+            .record_span(ENGINE_LANE, "task", "Neigh", t0, dt);
+        Ok(rebuild)
     }
 
     /// Advances the simulation by one timestep.
@@ -281,6 +334,14 @@ impl Simulation {
     /// Returns an error if SHAKE fails to converge or the neighbor list
     /// cannot be rebuilt.
     pub fn step(&mut self) -> Result<()> {
+        let observing = self.recorder.is_enabled();
+        let step_t0 = Instant::now();
+        let ledger_before = if observing {
+            Some(self.ledger.clone())
+        } else {
+            None
+        };
+
         // I: initial integration (+ SHAKE projection) — Modify.
         let t0 = Instant::now();
         let ctx = IntegrateContext {
@@ -288,14 +349,18 @@ impl Simulation {
             units: &self.units,
             virial: self.energy.virial,
         };
-        self.integrator.initial_integrate(&mut self.atoms, &mut self.bx, &ctx);
+        self.integrator
+            .initial_integrate(&mut self.atoms, &mut self.bx, &ctx);
         if let Some(shake) = self.shake.as_mut() {
             shake.apply(&mut self.atoms, &self.bx, self.dt)?;
         }
-        self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+        let dt = t0.elapsed().as_secs_f64();
+        self.ledger.add(TaskKind::Modify, dt);
+        self.recorder
+            .record_span(ENGINE_LANE, "task", "Modify", t0, dt);
 
         // II + III: boundary conditions + neighbor maintenance — Neigh.
-        self.refresh_neighbors(false)?;
+        let rebuilt = self.refresh_neighbors(false)?;
 
         // V + VI + VII (+ post-force fixes): forces.
         self.compute_forces();
@@ -307,19 +372,85 @@ impl Simulation {
             units: &self.units,
             virial: self.energy.virial,
         };
-        self.integrator.final_integrate(&mut self.atoms, &mut self.bx, &ctx);
-        self.ledger.add(TaskKind::Modify, t0.elapsed().as_secs_f64());
+        self.integrator
+            .final_integrate(&mut self.atoms, &mut self.bx, &ctx);
+        let dt = t0.elapsed().as_secs_f64();
+        self.ledger.add(TaskKind::Modify, dt);
+        self.recorder
+            .record_span(ENGINE_LANE, "task", "Modify", t0, dt);
 
         self.step += 1;
 
         // VIII: thermodynamic output — Output.
-        if self.thermo_every > 0 && self.step % self.thermo_every == 0 {
+        if self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every) {
             let t0 = Instant::now();
             let row = self.thermo();
+            if observing {
+                let e = row.total_energy();
+                let e0 = *self.energy_first.get_or_insert(e);
+                self.last_drift = (e - e0).abs() / e0.abs().max(1.0);
+                self.recorder
+                    .gauge(ENGINE_LANE, "energy_drift", self.last_drift);
+            }
             self.thermo_log.push(row);
-            self.ledger.add(TaskKind::Output, t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            self.ledger.add(TaskKind::Output, dt);
+            self.recorder
+                .record_span(ENGINE_LANE, "task", "Output", t0, dt);
+        }
+
+        if let Some(before) = ledger_before {
+            self.record_step_sample(&before, step_t0, rebuilt);
         }
         Ok(())
+    }
+
+    /// Assembles and records this step's [`StepSample`], the residual
+    /// `Other` span, the latency/rebuild histograms, and the counters.
+    /// Only called when the recorder is enabled.
+    fn record_step_sample(&mut self, before: &TaskLedger, step_t0: Instant, rebuilt: bool) {
+        let wall = step_t0.elapsed().as_secs_f64();
+        let mut task_seconds = [0.0; NUM_TASKS];
+        for (i, (task, secs)) in self.ledger.iter().enumerate() {
+            task_seconds[i] = secs - before.seconds(task);
+        }
+        // Time inside step() not attributed to any task is `Other`.
+        let accounted: f64 = task_seconds.iter().sum();
+        let other = (wall - accounted).max(0.0);
+        task_seconds[TaskKind::Other.index()] += other;
+        if other > 0.0 {
+            let end_us = self.recorder.now_us();
+            self.recorder.record_span_at(
+                ENGINE_LANE,
+                "task",
+                "Other",
+                (end_us - other * 1e6).max(0.0),
+                other * 1e6,
+            );
+        }
+
+        self.recorder.observe("step_latency_us", wall * 1e6);
+        if rebuilt {
+            self.recorder.count(ENGINE_LANE, "neighbor_rebuilds", 1.0);
+            self.recorder.observe(
+                "rebuild_interval_steps",
+                (self.step - self.last_rebuild_step) as f64,
+            );
+            self.last_rebuild_step = self.step;
+        }
+        let pair_interactions = self.neighbor.as_ref().map_or(0, |n| n.len() as u64);
+        self.recorder
+            .gauge(ENGINE_LANE, "pair_interactions", pair_interactions as f64);
+        self.recorder.push_step(StepSample {
+            step: self.step,
+            task_seconds,
+            wall_seconds: wall,
+            neighbor_rebuild: rebuilt,
+            // Single-process engine: no ghost layer (md-parallel owns them).
+            ghost_atoms: 0,
+            pair_interactions,
+            energy_drift: self.last_drift,
+        });
     }
 
     /// Runs `nsteps` timesteps and reports timing.
@@ -345,7 +476,11 @@ impl Simulation {
         Ok(StepReport {
             steps: nsteps,
             wall_seconds: wall,
-            ts_per_sec: if wall > 0.0 { nsteps as f64 / wall } else { 0.0 },
+            ts_per_sec: if wall > 0.0 {
+                nsteps as f64 / wall
+            } else {
+                0.0
+            },
             ledger,
             thermo: self.thermo(),
             neighbor_builds: self.neighbor.as_ref().map_or(0, |n| n.stats().builds) - builds_before,
@@ -369,6 +504,7 @@ pub struct SimulationBuilder {
     fixes: Vec<Box<dyn Fix>>,
     shake: Option<Shake>,
     thermo_every: u64,
+    recorder: Option<Recorder>,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -399,6 +535,7 @@ impl SimulationBuilder {
             fixes: Vec::new(),
             shake: None,
             thermo_every: 0,
+            recorder: None,
         }
     }
 
@@ -468,6 +605,13 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches an observability recorder (defaults to
+    /// [`Recorder::disabled`], whose hooks cost one atomic load each).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Validates the configuration, builds the initial neighbor list, runs
     /// the k-space setup, and evaluates initial forces.
     ///
@@ -520,7 +664,14 @@ impl SimulationBuilder {
             thermo_every: self.thermo_every,
             energy: EnergyVirial::default(),
             thermo_log: Vec::new(),
+            recorder: Recorder::disabled(),
+            last_rebuild_step: 0,
+            energy_first: None,
+            last_drift: 0.0,
         };
+        if let Some(rec) = self.recorder {
+            sim.set_recorder(rec);
+        }
         sim.refresh_neighbors(true)?;
         sim.compute_forces();
         Ok(sim)
@@ -632,7 +783,60 @@ mod tests {
             .dt(-1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidParameter { name: "dt", .. }));
+        assert!(matches!(
+            err,
+            CoreError::InvalidParameter { name: "dt", .. }
+        ));
+    }
+
+    #[test]
+    fn recorder_collects_steps_spans_and_histograms() {
+        let mut atoms = AtomStore::new();
+        atoms.push(Vec3::new(6.0, 5.0, 5.0), Vec3::zero(), 0);
+        atoms.set_masses(vec![1.0]);
+        let rec = md_observe::Recorder::default();
+        let mut sim = Simulation::builder(SimBox::cubic(10.0), atoms, UnitSystem::lj())
+            .pair(Box::new(Tether { k: 1.0 }))
+            .dt(0.01)
+            .skin(0.5)
+            .thermo_every(10)
+            .recorder(rec.clone())
+            .build()
+            .unwrap();
+        sim.run(30).unwrap();
+
+        assert_eq!(rec.step_count(), 30);
+        let latency = rec
+            .hist_summary("step_latency_us")
+            .expect("latency histogram");
+        assert_eq!(latency.count, 30);
+        assert!(latency.p99 >= latency.p50);
+        // Pair, Modify, Neigh, Output spans must all be present.
+        let names: std::collections::HashSet<&'static str> =
+            rec.events().iter().map(|e| e.name).collect();
+        for want in ["Pair", "Modify", "Neigh", "Output"] {
+            assert!(names.contains(want), "missing {want} span");
+        }
+        let sample = rec.last_step().unwrap();
+        assert_eq!(sample.step, 30);
+        assert!(sample.wall_seconds > 0.0);
+        // The split sums to the step wall time (Other absorbs the rest).
+        let sum: f64 = sample.task_seconds.iter().sum();
+        assert!(
+            sum <= sample.wall_seconds * 1.0001,
+            "{sum} vs {}",
+            sample.wall_seconds
+        );
+        assert!(rec.counter_value("pair_interactions").is_some());
+        assert!(rec.counter_value("energy_drift").is_some());
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty_through_run() {
+        let mut sim = harmonic_sim();
+        sim.run(10).unwrap();
+        assert_eq!(sim.recorder().event_count(), 0);
+        assert_eq!(sim.recorder().step_count(), 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::time::Instant;
 /// exchange (IV), `Pair` is the pairwise potential (V), `Kspace` the
 /// long-range solver (VI), `Bond` the bonded forces (VII), and `Output` the
 /// thermodynamic output (VIII). Everything else is `Other`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum TaskKind {
     /// Computation of bonded forces.
     Bond,
@@ -65,7 +67,10 @@ impl TaskKind {
 
     /// Index of this task in [`TaskKind::ALL`].
     pub fn index(self) -> usize {
-        TaskKind::ALL.iter().position(|&t| t == self).expect("task in ALL")
+        TaskKind::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("task in ALL")
     }
 }
 
@@ -103,7 +108,12 @@ impl TaskLedger {
         self.seconds.iter().sum()
     }
 
-    /// Percentage share of `task` (0..=100); zero for an empty ledger.
+    /// Percentage share of `task` (0..=100).
+    ///
+    /// Returns `0.0` whenever [`TaskLedger::total`] is zero — a freshly
+    /// created ledger, one that was [`TaskLedger::reset`], or one where
+    /// every recorded duration was zero. The shares therefore do **not**
+    /// sum to 100 in that case (they sum to 0).
     pub fn percent(&self, task: TaskKind) -> f64 {
         let t = self.total();
         if t > 0.0 {
@@ -126,6 +136,22 @@ impl TaskLedger {
         for i in 0..8 {
             self.seconds[i] += other.seconds[i];
         }
+    }
+
+    /// Per-task maximum over a set of ledgers (the per-rank *worst case*:
+    /// with bulk-synchronous ranks, the slowest rank in each task bounds the
+    /// step, so `max_across` of the rank ledgers is the critical-path view
+    /// the paper's imbalance analysis compares against the mean).
+    ///
+    /// Returns an empty ledger for an empty slice.
+    pub fn max_across(ledgers: &[TaskLedger]) -> TaskLedger {
+        let mut out = TaskLedger::new();
+        for l in ledgers {
+            for i in 0..8 {
+                out.seconds[i] = out.seconds[i].max(l.seconds[i]);
+            }
+        }
+        out
     }
 
     /// Resets all counters to zero.
@@ -195,7 +221,8 @@ mod tests {
 
     #[test]
     fn all_covers_every_label_once() {
-        let labels: std::collections::HashSet<_> = TaskKind::ALL.iter().map(|t| t.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            TaskKind::ALL.iter().map(|t| t.label()).collect();
         assert_eq!(labels.len(), 8);
     }
 
@@ -203,5 +230,38 @@ mod tests {
     fn empty_ledger_percent_is_zero() {
         let l = TaskLedger::new();
         assert_eq!(l.percent(TaskKind::Pair), 0.0);
+        // Zero-duration entries leave total() at zero too; shares stay 0.
+        let mut z = TaskLedger::new();
+        z.add(TaskKind::Pair, 0.0);
+        assert_eq!(z.percent(TaskKind::Pair), 0.0);
+    }
+
+    #[test]
+    fn max_across_takes_componentwise_maximum() {
+        let mut a = TaskLedger::new();
+        a.add(TaskKind::Pair, 3.0);
+        a.add(TaskKind::Comm, 0.2);
+        let mut b = TaskLedger::new();
+        b.add(TaskKind::Pair, 1.0);
+        b.add(TaskKind::Comm, 0.9);
+        b.add(TaskKind::Kspace, 0.4);
+        let m = TaskLedger::max_across(&[a, b]);
+        assert_eq!(m.seconds(TaskKind::Pair), 3.0);
+        assert_eq!(m.seconds(TaskKind::Comm), 0.9);
+        assert_eq!(m.seconds(TaskKind::Kspace), 0.4);
+        assert_eq!(m.seconds(TaskKind::Bond), 0.0);
+        // Empty input gives an empty ledger.
+        assert_eq!(TaskLedger::max_across(&[]), TaskLedger::new());
+    }
+
+    #[test]
+    fn observe_task_labels_match_taxonomy_order() {
+        // md-observe is a leaf crate and cannot see TaskKind; its slot
+        // order is a mirror of TaskKind::ALL, pinned here.
+        assert_eq!(md_observe::NUM_TASKS, TaskKind::ALL.len());
+        for (i, t) in TaskKind::ALL.iter().enumerate() {
+            assert_eq!(md_observe::TASK_LABELS[i], t.label(), "slot {i}");
+            assert_eq!(t.index(), i);
+        }
     }
 }

@@ -55,7 +55,8 @@ impl Langevin {
             // Friction: -(m/damp) v, converted to force units via mvv2e.
             let fr = atoms.v()[i] * (-gamma * m * units.mvv2e);
             // Fluctuation: variance 2 m kB T γ / dt in force units.
-            let sigma = (2.0 * m * units.boltzmann * self.t_target * units.mvv2e * gamma / dt).sqrt();
+            let sigma =
+                (2.0 * m * units.boltzmann * self.t_target * units.mvv2e * gamma / dt).sqrt();
             let mut gauss = || {
                 let u1: f64 = self.rng.gen::<f64>().max(1e-300);
                 let u2: f64 = self.rng.gen();

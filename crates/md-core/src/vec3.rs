@@ -1,7 +1,9 @@
 //! A minimal 3-vector generic over the kernel scalar type.
 
 use crate::real::Real;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-component vector of [`Real`] scalars.
 ///

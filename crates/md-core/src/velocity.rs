@@ -33,7 +33,10 @@ impl TempRescale {
     pub fn new(t_target: f64, window: f64, fraction: f64) -> Self {
         assert!(t_target > 0.0, "target temperature must be positive");
         assert!(window >= 0.0, "window must be non-negative");
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         TempRescale {
             t_target,
             window,

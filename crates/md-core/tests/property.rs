@@ -183,14 +183,28 @@ fn shake_restores_random_perturbations() {
         }
         let mut shake = Shake::new(
             vec![
-                ShakeParams { i: 0, j: 1, length: 0.9572 },
-                ShakeParams { i: 0, j: 2, length: 0.9572 },
-                ShakeParams { i: 1, j: 2, length: 1.5139 },
+                ShakeParams {
+                    i: 0,
+                    j: 1,
+                    length: 0.9572,
+                },
+                ShakeParams {
+                    i: 0,
+                    j: 2,
+                    length: 0.9572,
+                },
+                ShakeParams {
+                    i: 1,
+                    j: 2,
+                    length: 1.5139,
+                },
             ],
             1e-8,
             200,
         );
-        shake.apply(&mut atoms, &bx, 0.001).expect("shake converges");
+        shake
+            .apply(&mut atoms, &bx, 0.001)
+            .expect("shake converges");
         for &(i, j, len) in &[(0usize, 1usize, 0.9572), (0, 2, 0.9572), (1, 2, 1.5139)] {
             let r = bx.min_image(atoms.x()[i], atoms.x()[j]).norm();
             assert!((r - len).abs() < 1e-3, "constraint {i}-{j}: {r} vs {len}");

@@ -17,7 +17,11 @@ fn row(name: &str, paper: f64, ours: f64) {
 
 fn main() -> Result<(), md_core::CoreError> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let fidelity = if quick { Fidelity::Quick } else { Fidelity::Full };
+    let fidelity = if quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
     let ctx = ExperimentContext::new(fidelity);
     let big = if quick { 2 } else { 4 }; // 256k in quick mode, 2048k full
 
@@ -31,8 +35,10 @@ fn main() -> Result<(), md_core::CoreError> {
             74.29,
             100.0 * rhodo64.parallel_efficiency(&rhodo1),
         );
-        let tight64 = ctx.cpu_run_with(Benchmark::Rhodo, big, 64, PrecisionMode::Mixed, Some(1e-7))?;
-        let tight1 = ctx.cpu_run_with(Benchmark::Rhodo, big, 1, PrecisionMode::Mixed, Some(1e-7))?;
+        let tight64 =
+            ctx.cpu_run_with(Benchmark::Rhodo, big, 64, PrecisionMode::Mixed, Some(1e-7))?;
+        let tight1 =
+            ctx.cpu_run_with(Benchmark::Rhodo, big, 1, PrecisionMode::Mixed, Some(1e-7))?;
         row("rhodo 2048k 64p TS/s (e-7)", 3.54, tight64.ts_per_sec);
         row(
             "rhodo 2048k par-eff % (e-7)",
@@ -71,15 +77,27 @@ fn main() -> Result<(), md_core::CoreError> {
 
     println!("\n== rhodo k-space grids (scale {big}) ==");
     {
-        let profile = md_model::WorkloadProfile::measure(Benchmark::Rhodo, 30, 2022)?.at_scale(big)?;
+        let profile =
+            md_model::WorkloadProfile::measure(Benchmark::Rhodo, 30, 2022)?.at_scale(big)?;
         for err in [1e-4, 1e-5, 1e-6, 1e-7] {
-            let ks = profile.with_kspace_error(err)?.kspace.expect("rhodo kspace");
-            println!("  err {err:>7.0e}: grid {:?} = {} points", ks.grid, ks.grid_points);
+            let ks = profile
+                .with_kspace_error(err)?
+                .kspace
+                .expect("rhodo kspace");
+            println!(
+                "  err {err:>7.0e}: grid {:?} = {} points",
+                ks.grid, ks.grid_points
+            );
         }
     }
 
     println!("\n== GPU anchors ==");
-    for b in [Benchmark::Lj, Benchmark::Chain, Benchmark::Eam, Benchmark::Rhodo] {
+    for b in [
+        Benchmark::Lj,
+        Benchmark::Chain,
+        Benchmark::Eam,
+        Benchmark::Rhodo,
+    ] {
         let g1 = ctx.gpu_run(b, big, 1)?;
         let g8 = ctx.gpu_run(b, big, 8)?;
         println!(
@@ -101,7 +119,8 @@ fn main() -> Result<(), md_core::CoreError> {
         let rh_d = ctx.gpu_run_with(Benchmark::Rhodo, big, 8, PrecisionMode::Double, None)?;
         row("rhodo 2048k 8gpu TS/s single", 17.1, rh_s.ts_per_sec);
         row("rhodo 2048k 8gpu TS/s double", 16.5, rh_d.ts_per_sec);
-        let coarse = ctx.gpu_run_with(Benchmark::Rhodo, big, 8, PrecisionMode::Mixed, Some(1e-4))?;
+        let coarse =
+            ctx.gpu_run_with(Benchmark::Rhodo, big, 8, PrecisionMode::Mixed, Some(1e-4))?;
         let tight = ctx.gpu_run_with(Benchmark::Rhodo, big, 8, PrecisionMode::Mixed, Some(1e-7))?;
         row("rhodo 2048k 8gpu TS/s (e-4)", 16.09, coarse.ts_per_sec);
         row("rhodo 2048k 8gpu TS/s (e-7)", 0.46, tight.ts_per_sec);

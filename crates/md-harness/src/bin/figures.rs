@@ -26,7 +26,9 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--out DIR] [table1 table2 table3 fig03 .. fig16]");
+                eprintln!(
+                    "usage: figures [--quick] [--out DIR] [table1 table2 table3 fig03 .. fig16]"
+                );
                 return;
             }
             id => wanted.push(id.to_string()),

@@ -5,26 +5,55 @@
 //!
 //! ```text
 //! cargo run --release -p md-harness --bin profile [--steps N]
+//!     [--trace out.json] [--metrics out.jsonl]
 //! ```
+//!
+//! With `--trace`, every step is recorded through `md-observe` and the run
+//! ends with a Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! Perfetto): lane 0 is the real engine (all eight task categories plus the
+//! PPPM kernel sub-spans), lanes 1.. are the ranks of a modeled 8-rank
+//! virtual cluster with per-MPI-function spans at simulated timestamps.
+//! `--metrics` additionally writes per-step JSONL samples. Recording can
+//! also be switched on without flags via `MD_OBSERVE=1` (capacities:
+//! `MD_OBSERVE_STEPS`, `MD_OBSERVE_EVENTS`).
 
 use md_core::TaskKind;
 use md_harness::render::{fnum, TextTable};
-use md_workloads::{build_deck, Benchmark};
+use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+use md_observe::{chrome_trace_json, metrics_jsonl, text_report, ObserveConfig, Recorder};
+use md_workloads::{build_deck, build_positions, Benchmark};
 
 fn main() {
     let mut steps: u64 = 20;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        if flag == "--steps" {
-            steps = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--steps" => {
+                steps = value(&mut args).parse().unwrap_or_else(|_| {
                     eprintln!("--steps requires a number");
                     std::process::exit(2);
                 });
+            }
+            "--trace" => trace_path = Some(value(&mut args)),
+            "--metrics" => metrics_path = Some(value(&mut args)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
         }
     }
+
+    let mut cfg = ObserveConfig::from_env();
+    cfg.enabled = cfg.enabled || trace_path.is_some() || metrics_path.is_some();
+    let recorder = Recorder::new(cfg);
 
     let mut header: Vec<String> = vec![
         "benchmark".into(),
@@ -44,6 +73,7 @@ fn main() {
                 continue;
             }
         };
+        deck.simulation.set_recorder(recorder.clone());
         eprint!("running {steps} steps ... ");
         let report = match deck.simulation.run(steps) {
             Ok(r) => r,
@@ -74,4 +104,55 @@ fn main() {
     println!("\n== Real-engine task profile, 32k decks, {steps} steps each ==");
     println!("(host wall clock on this machine; the paper's Xeon 8358 sweep is `figures fig03`)\n");
     println!("{table}");
+
+    if recorder.is_enabled() {
+        // Add per-rank lanes: a short modeled 8-rank LJ run on the virtual
+        // cluster, traced at simulated timestamps.
+        eprintln!("[profile] tracing 8-rank virtual cluster (modeled lj) ...");
+        if let Err(e) = trace_cluster(&recorder) {
+            eprintln!("[profile] cluster trace failed: {e}");
+        }
+
+        if let Some(path) = &trace_path {
+            match std::fs::write(path, chrome_trace_json(&recorder)) {
+                Ok(()) => eprintln!(
+                    "[profile] wrote {path} ({} events) — open in chrome://tracing or Perfetto",
+                    recorder.event_count()
+                ),
+                Err(e) => {
+                    eprintln!("[profile] cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &metrics_path {
+            match std::fs::write(path, metrics_jsonl(&recorder)) {
+                Ok(()) => eprintln!("[profile] wrote {path}"),
+                Err(e) => {
+                    eprintln!("[profile] cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("{}", text_report(&recorder));
+    }
+}
+
+/// Runs the CPU model for LJ over 8 virtual ranks with `recorder` attached,
+/// so the exported trace gets per-rank lanes (`rank 0`..`rank 7`).
+fn trace_cluster(recorder: &Recorder) -> md_core::Result<()> {
+    let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1)?;
+    let (bx, x) = build_positions(Benchmark::Lj, 1, 1)?;
+    let mut model = CpuModel::new();
+    model.set_recorder(recorder.clone());
+    let opts = CpuRunOptions {
+        ranks: 8,
+        sim_steps: 40,
+        // Short traced window: make sure a thermo allreduce (the modeled
+        // Output task) lands inside it.
+        thermo_every: 10,
+        ..CpuRunOptions::default()
+    };
+    model.simulate(&profile, &bx, &x, &opts)?;
+    Ok(())
 }

@@ -38,7 +38,8 @@ fn parse_args() -> Result<Args, String> {
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} requires a value"))
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
             "--steps" => out.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,

@@ -12,7 +12,11 @@ use md_workloads::Benchmark;
 
 fn main() -> Result<(), md_core::CoreError> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let fidelity = if quick { Fidelity::Quick } else { Fidelity::Full };
+    let fidelity = if quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
     let scale = if quick { 2 } else { 4 };
     let ctx = ExperimentContext::new(fidelity);
 

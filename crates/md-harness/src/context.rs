@@ -54,6 +54,7 @@ pub struct ExperimentContext {
     cpu_model: CpuModel,
     gpu_model: GpuModel,
     profiles: Mutex<HashMap<Benchmark, WorkloadProfile>>,
+    #[allow(clippy::type_complexity)]
     systems: Mutex<HashMap<(Benchmark, usize), (SimBox, Vec<V3>)>>,
     #[allow(clippy::type_complexity)]
     censuses: Mutex<HashMap<(Benchmark, usize, usize), (Decomposition, WorkloadCensus)>>,
@@ -161,7 +162,12 @@ impl ExperimentContext {
     /// # Errors
     ///
     /// Propagates model failures.
-    pub fn cpu_run(&self, benchmark: Benchmark, scale: usize, ranks: usize) -> Result<CpuRunResult> {
+    pub fn cpu_run(
+        &self,
+        benchmark: Benchmark,
+        scale: usize,
+        ranks: usize,
+    ) -> Result<CpuRunResult> {
         self.cpu_run_with(benchmark, scale, ranks, PrecisionMode::Mixed, None)
     }
 
@@ -219,10 +225,12 @@ impl ExperimentContext {
         if let Some(err) = kspace_error {
             profile = profile.with_kspace_error(err)?;
         }
-        let ranks = (md_model::calib::RANKS_PER_GPU * gpus).min(md_model::calib::MAX_GPU_HOST_RANKS);
+        let ranks =
+            (md_model::calib::RANKS_PER_GPU * gpus).min(md_model::calib::MAX_GPU_HOST_RANKS);
         let (_, census) = self.census(benchmark, scale, ranks)?;
         let opts = GpuRunOptions { gpus, precision };
-        self.gpu_model.simulate_with_census(&profile, &census, &opts)
+        self.gpu_model
+            .simulate_with_census(&profile, &census, &opts)
     }
 }
 

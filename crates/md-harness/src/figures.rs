@@ -15,12 +15,21 @@ use md_parallel::MpiFunction;
 use md_workloads::{size_label, Benchmark};
 
 fn task_header() -> Vec<String> {
-    let mut h = vec!["benchmark".to_string(), "size_k".to_string(), "procs".to_string()];
+    let mut h = vec![
+        "benchmark".to_string(),
+        "size_k".to_string(),
+        "procs".to_string(),
+    ];
     h.extend(TaskKind::ALL.iter().map(|t| format!("{t} %")));
     h
 }
 
-fn task_row(bench: Benchmark, size_k: usize, procs: usize, tasks: &md_core::TaskLedger) -> Vec<String> {
+fn task_row(
+    bench: Benchmark,
+    size_k: usize,
+    procs: usize,
+    tasks: &md_core::TaskLedger,
+) -> Vec<String> {
     let mut row = vec![bench.to_string(), size_k.to_string(), procs.to_string()];
     row.extend(TaskKind::ALL.iter().map(|&t| fnum(tasks.percent(t))));
     row
@@ -55,7 +64,13 @@ pub fn fig03(ctx: &ExperimentContext) -> Result<Figure> {
 ///
 /// Propagates model failures.
 pub fn fig04(ctx: &ExperimentContext) -> Result<Figure> {
-    let mut t = TextTable::new(["benchmark", "size_k", "procs", "mpi_time %", "mpi_imbalance %"]);
+    let mut t = TextTable::new([
+        "benchmark",
+        "size_k",
+        "procs",
+        "mpi_time %",
+        "mpi_imbalance %",
+    ]);
     for bench in Benchmark::ALL {
         for &scale in ctx.scales() {
             for &p in &MPI_PROCS {
@@ -78,7 +93,11 @@ pub fn fig04(ctx: &ExperimentContext) -> Result<Figure> {
 }
 
 fn mpi_header() -> Vec<String> {
-    let mut h = vec!["benchmark".to_string(), "size_k".to_string(), "procs".to_string()];
+    let mut h = vec![
+        "benchmark".to_string(),
+        "size_k".to_string(),
+        "procs".to_string(),
+    ];
     h.extend(MpiFunction::ALL.iter().map(|f| format!("{f} %")));
     h
 }
@@ -177,7 +196,11 @@ pub fn fig07(ctx: &ExperimentContext) -> Result<Figure> {
 ///
 /// Propagates model failures.
 pub fn fig08(ctx: &ExperimentContext) -> Result<Figure> {
-    let mut header = vec!["benchmark".to_string(), "size_k".to_string(), "gpus".to_string()];
+    let mut header = vec![
+        "benchmark".to_string(),
+        "size_k".to_string(),
+        "gpus".to_string(),
+    ];
     header.extend(KernelKind::ALL.iter().map(|k| format!("{k} %")));
     let mut t = TextTable::new(header);
     for bench in Benchmark::ALL.into_iter().filter(|b| b.gpu_supported()) {
@@ -255,13 +278,7 @@ fn err_label(err: f64) -> String {
 ///
 /// Propagates model failures.
 pub fn fig10(ctx: &ExperimentContext) -> Result<Figure> {
-    let mut t = TextTable::new([
-        "benchmark",
-        "size_k",
-        "procs",
-        "TS/s",
-        "parallel_eff %",
-    ]);
+    let mut t = TextTable::new(["benchmark", "size_k", "procs", "TS/s", "parallel_eff %"]);
     for &err in &KSPACE_ERRORS {
         for &scale in ctx.scales() {
             let single =
@@ -327,11 +344,7 @@ pub fn fig12(ctx: &ExperimentContext) -> Result<Figure> {
             for &p in &MPI_PROCS {
                 let r =
                     ctx.cpu_run_with(Benchmark::Rhodo, scale, p, PrecisionMode::Mixed, Some(err))?;
-                let mut row = vec![
-                    err_label(err),
-                    size_label(scale).to_string(),
-                    p.to_string(),
-                ];
+                let mut row = vec![err_label(err), size_label(scale).to_string(), p.to_string()];
                 row.extend(MpiFunction::ALL.iter().map(|&f| fnum(r.mpi.percent(f))));
                 t.row(row);
             }
@@ -383,7 +396,13 @@ pub fn fig13(ctx: &ExperimentContext) -> Result<Figure> {
 ///
 /// Propagates model failures.
 pub fn fig14(ctx: &ExperimentContext) -> Result<Figure> {
-    let mut t = TextTable::new(["benchmark", "size_k", "procs", "mpi_time %", "mpi_imbalance %"]);
+    let mut t = TextTable::new([
+        "benchmark",
+        "size_k",
+        "procs",
+        "mpi_time %",
+        "mpi_imbalance %",
+    ]);
     for &err in &KSPACE_ERRORS {
         if (err - 1e-5).abs() < 1e-12 {
             continue;

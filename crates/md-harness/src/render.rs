@@ -69,9 +69,21 @@ impl TextTable {
                 cell.to_string()
             }
         };
-        writeln!(f, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
         for row in &self.rows {
-            writeln!(f, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))?;
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            )?;
         }
         Ok(())
     }

@@ -13,11 +13,23 @@ pub fn table1() -> Figure {
     let mut t = TextTable::new(["Task", "Step", "Description"]);
     let rows: [(&str, &str, &str); 8] = [
         ("Bond", "VII", "Computation of bonded forces"),
-        ("Comm", "IV", "Inter-processor communication of atoms and their properties"),
-        ("Kspace", "VI", "Computation of long-range interaction forces"),
+        (
+            "Comm",
+            "IV",
+            "Inter-processor communication of atoms and their properties",
+        ),
+        (
+            "Kspace",
+            "VI",
+            "Computation of long-range interaction forces",
+        ),
         ("Modify", "II", "Fixes and computes invoked by fixes"),
         ("Neigh", "III", "Neighbor list construction"),
-        ("Output", "VIII", "Output of thermodynamic info and dump files"),
+        (
+            "Output",
+            "VIII",
+            "Output of thermodynamic info and dump files",
+        ),
         ("Pair", "V", "Computation of pairwise potential"),
         ("Other", "-", "All other tasks"),
     ];
@@ -100,8 +112,14 @@ pub fn table3() -> Figure {
     ]);
     t.row([
         "L1 / L2 / L3".to_string(),
-        format!("{} KB / {} KB / {} MB", c.cpu.l1_kib, c.cpu.l2_kib, c.cpu.l3_mib),
-        format!("{} KB / {} KB / {} MB", g.cpu.l1_kib, g.cpu.l2_kib, g.cpu.l3_mib),
+        format!(
+            "{} KB / {} KB / {} MB",
+            c.cpu.l1_kib, c.cpu.l2_kib, c.cpu.l3_mib
+        ),
+        format!(
+            "{} KB / {} KB / {} MB",
+            g.cpu.l1_kib, g.cpu.l2_kib, g.cpu.l3_mib
+        ),
     ]);
     t.row([
         "CPU TDP".to_string(),

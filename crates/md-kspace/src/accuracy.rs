@@ -16,7 +16,12 @@ const ACONS: [&[f64]; 6] = [
     &[2.0 / 3.0],
     &[1.0 / 50.0, 5.0 / 294.0],
     &[1.0 / 588.0, 7.0 / 1440.0, 21.0 / 3872.0],
-    &[1.0 / 4320.0, 3.0 / 1936.0, 7601.0 / 2271360.0, 143.0 / 28800.0],
+    &[
+        1.0 / 4320.0,
+        3.0 / 1936.0,
+        7601.0 / 2271360.0,
+        143.0 / 28800.0,
+    ],
     &[
         1.0 / 23232.0,
         7601.0 / 13628160.0,
@@ -81,7 +86,7 @@ impl KspaceAccuracy {
                 reason: "need at least one charged atom".to_string(),
             });
         }
-        if order < 1 || order > MAX_ORDER {
+        if !(1..=MAX_ORDER).contains(&order) {
             return Err(CoreError::InvalidParameter {
                 name: "order",
                 reason: format!("assignment order {order} outside 1..={MAX_ORDER}"),
@@ -173,7 +178,7 @@ pub fn smooth235(n: usize) -> usize {
     loop {
         let mut k = m;
         for p in [2usize, 3, 5] {
-            while k % p == 0 {
+            while k.is_multiple_of(p) {
                 k /= p;
             }
         }

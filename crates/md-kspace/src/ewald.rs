@@ -117,11 +117,16 @@ impl KspaceStyle for Ewald {
         let two_pi = 2.0 * std::f64::consts::PI;
         let g2inv4 = 1.0 / (4.0 * self.g_ewald * self.g_ewald);
         self.kvectors.clear();
-        let (mx, my, mz) = (self.kmax[0] as i64, self.kmax[1] as i64, self.kmax[2] as i64);
+        let (mx, my, mz) = (
+            self.kmax[0] as i64,
+            self.kmax[1] as i64,
+            self.kmax[2] as i64,
+        );
         for nz in 0..=mz {
             for ny in -my..=my {
                 for nx in -mx..=mx {
-                    let half_space = nz > 0 || (nz == 0 && ny > 0) || (nz == 0 && ny == 0 && nx > 0);
+                    let half_space =
+                        nz > 0 || (nz == 0 && ny > 0) || (nz == 0 && ny == 0 && nx > 0);
                     if !half_space {
                         continue;
                     }

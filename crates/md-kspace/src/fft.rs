@@ -282,9 +282,8 @@ mod tests {
         for iz in 0..8 {
             for iy in 0..8 {
                 for ix in 0..8 {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * ix + ky * iy + kz * iz) as f64
-                        / 8.0;
+                    let phase =
+                        2.0 * std::f64::consts::PI * (kx * ix + ky * iy + kz * iz) as f64 / 8.0;
                     data[fft.index(ix, iy, iz)] = Complex::cis(phase);
                 }
             }

@@ -78,7 +78,7 @@ proptest! {
         prop_assert!(m >= n);
         let mut k = m;
         for p in [2usize, 3, 5] {
-            while k % p == 0 {
+            while k.is_multiple_of(p) {
                 k /= p;
             }
         }
@@ -157,9 +157,17 @@ fn pppm_energy_is_even_in_charges() {
     let l = 11.0;
     let bx = SimBox::cubic(l);
     let x: Vec<V3> = (0..30)
-        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .map(|_| {
+            Vec3::new(
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+            )
+        })
         .collect();
-    let q: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.7 } else { -0.7 }).collect();
+    let q: Vec<f64> = (0..30)
+        .map(|i| if i % 2 == 0 { 0.7 } else { -0.7 })
+        .collect();
     let neg: Vec<f64> = q.iter().map(|&qi| -qi).collect();
     let mut pppm = Pppm::new(5.4, 1e-5, 5);
     pppm.setup(&bx, &q).unwrap();
@@ -169,7 +177,10 @@ fn pppm_energy_is_even_in_charges() {
     let e2 = pppm.compute(&bx, &x, &neg, &mut f2).ecoul;
     assert!((e1 - e2).abs() < 1e-9 * e1.abs(), "{e1} vs {e2}");
     for (a, b) in f1.iter().zip(&f2) {
-        assert!((*a - *b).norm() < 1e-9 * a.norm().max(1.0), "forces must match");
+        assert!(
+            (*a - *b).norm() < 1e-9 * a.norm().max(1.0),
+            "forces must match"
+        );
     }
 }
 

@@ -219,7 +219,10 @@ mod tests {
 
     #[test]
     fn double_precision_costs_more() {
-        assert!(cpu_precision_factor(PrecisionMode::Double) > cpu_precision_factor(PrecisionMode::Single));
+        assert!(
+            cpu_precision_factor(PrecisionMode::Double)
+                > cpu_precision_factor(PrecisionMode::Single)
+        );
         assert!(gpu_precision_factor(PrecisionMode::Double) > 1.5);
     }
 

@@ -11,8 +11,8 @@
 use crate::calib;
 use crate::workload::WorkloadProfile;
 use md_core::{PrecisionMode, TaskKind, TaskLedger};
-use md_parallel::{Decomposition, MpiLedger, VirtualCluster, WorkloadCensus};
 use md_core::{Result, SimBox};
+use md_parallel::{Decomposition, MpiLedger, VirtualCluster, WorkloadCensus};
 use md_workloads::Benchmark;
 
 /// Options of one modeled run.
@@ -96,12 +96,21 @@ fn jitter(rank: usize, step: u64) -> f64 {
 
 /// The CPU-instance performance model.
 #[derive(Debug, Clone, Default)]
-pub struct CpuModel;
+pub struct CpuModel {
+    recorder: Option<md_observe::Recorder>,
+}
 
 impl CpuModel {
     /// Creates the model (all parameters live in [`crate::calib`]).
     pub fn new() -> Self {
-        CpuModel
+        CpuModel::default()
+    }
+
+    /// Attaches an observability recorder: every modeled run hands it to
+    /// its [`VirtualCluster`], producing one trace lane per rank with
+    /// per-task and per-MPI-function spans at simulated timestamps.
+    pub fn set_recorder(&mut self, recorder: md_observe::Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Runs the model for `profile` decomposed over real positions.
@@ -147,7 +156,13 @@ impl CpuModel {
         }
         let bench = profile.benchmark;
         let mut cluster = VirtualCluster::new(p);
-        cluster.mpi_init(calib::MPI_INIT_BASE_SECONDS, calib::MPI_INIT_PER_RANK_SECONDS);
+        if let Some(rec) = &self.recorder {
+            cluster.set_recorder(rec.clone());
+        }
+        cluster.mpi_init(
+            calib::MPI_INIT_BASE_SECONDS,
+            calib::MPI_INIT_PER_RANK_SECONDS,
+        );
         let init_clock = cluster.max_clock();
 
         // Per-rank static cost inputs.
@@ -163,9 +178,7 @@ impl CpuModel {
         let npt = matches!(bench, Benchmark::Rhodo);
         let kspace = profile.kspace;
         let loads = census.loads();
-        let partners: Vec<Vec<usize>> = (0..p)
-            .map(|r| decomp.face_neighbors(r).to_vec())
-            .collect();
+        let partners: Vec<Vec<usize>> = (0..p).map(|r| decomp.face_neighbors(r).to_vec()).collect();
 
         for step in 0..opts.sim_steps {
             for (r, load) in loads.iter().enumerate() {
@@ -275,7 +288,11 @@ impl CpuModel {
         let mut tasks = TaskLedger::new();
         for (t, s) in cluster.mean_task_ledger().iter() {
             // Init time sits in Other and must not be scaled.
-            let s = if t == TaskKind::Other { s } else { (s - 0.0) * scale };
+            let s = if t == TaskKind::Other {
+                s
+            } else {
+                (s - 0.0) * scale
+            };
             tasks.add(t, s);
         }
         let mut mpi = MpiLedger::new();
@@ -290,7 +307,11 @@ impl CpuModel {
         }
         mpi.add_skew(mean.skew_seconds() * scale);
 
-        let ts_per_sec = if step_seconds > 0.0 { 1.0 / step_seconds } else { 0.0 };
+        let ts_per_sec = if step_seconds > 0.0 {
+            1.0 / step_seconds
+        } else {
+            0.0
+        };
         let watts = crate::power::cpu_node_watts(bench, p);
         let mpi_total = mpi.total();
         Ok(CpuRunResult {

@@ -16,7 +16,9 @@ use md_parallel::{Decomposition, WorkloadCensus};
 use md_workloads::Benchmark;
 
 /// GPU kernels and data-movement primitives of the paper's Figure 8 legend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum KernelKind {
     /// `[CUDA memcpy DtoH]`.
     MemcpyDtoH,
@@ -92,7 +94,10 @@ impl KernelKind {
     }
 
     fn index(self) -> usize {
-        KernelKind::ALL.iter().position(|&k| k == self).expect("in ALL")
+        KernelKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("in ALL")
     }
 }
 
@@ -242,10 +247,7 @@ impl GpuModel {
         if !bench.gpu_supported() {
             return Err(md_core::CoreError::InvalidParameter {
                 name: "benchmark",
-                reason: format!(
-                    "the reference GPU package lacks the {} pair style",
-                    bench
-                ),
+                reason: format!("the reference GPU package lacks the {} pair style", bench),
             });
         }
         let ranks = (calib::RANKS_PER_GPU * opts.gpus).min(calib::MAX_GPU_HOST_RANKS);
@@ -352,8 +354,7 @@ impl GpuModel {
                 let g_per_rank = ks.grid_points as f64 / ranks as f64;
                 let planes = ks.grid[2] as f64 * calib::PCIE_MESH_PLANE_LATENCY;
                 let mesh_dtoh = g_per_rank * 4.0 / calib::PCIE_MESH_BANDWIDTH + planes;
-                let mesh_htod =
-                    g_per_rank * 3.0 * 4.0 / calib::PCIE_MESH_BANDWIDTH + 3.0 * planes;
+                let mesh_htod = g_per_rank * 3.0 * 4.0 / calib::PCIE_MESH_BANDWIDTH + 3.0 * planes;
                 kernels.add(KernelKind::MemcpyDtoH, mesh_dtoh);
                 kernels.add(KernelKind::MemcpyHtoD, mesh_htod);
                 dev += mesh_dtoh + mesh_htod;
@@ -361,12 +362,9 @@ impl GpuModel {
 
                 // Host FFT share.
                 let g = ks.grid_points as f64;
-                host_kspace = calib::CPU_FFT_SECONDS
-                    * calib::GPU_HOST_SLOWDOWN
-                    * 4.0
-                    * g
-                    * g.log2()
-                    / ranks as f64;
+                host_kspace =
+                    calib::CPU_FFT_SECONDS * calib::GPU_HOST_SLOWDOWN * 4.0 * g * g.log2()
+                        / ranks as f64;
             }
 
             device_busy[device] += dev;
@@ -461,7 +459,15 @@ mod tests {
             .unwrap();
         let (bx, x) = build_positions(bench, scale, 1).unwrap();
         GpuModel::new()
-            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus, precision: PrecisionMode::Mixed })
+            .simulate(
+                &profile,
+                &bx,
+                &x,
+                &GpuRunOptions {
+                    gpus,
+                    precision: PrecisionMode::Mixed,
+                },
+            )
             .unwrap()
     }
 
@@ -480,8 +486,8 @@ mod tests {
         // Paper Section 6.1: the majority of device-active time is memory
         // movement for most benchmarks.
         let r = run(Benchmark::Lj, 1, 1);
-        let memcpy = r.kernels.percent(KernelKind::MemcpyHtoD)
-            + r.kernels.percent(KernelKind::MemcpyDtoH);
+        let memcpy =
+            r.kernels.percent(KernelKind::MemcpyHtoD) + r.kernels.percent(KernelKind::MemcpyDtoH);
         assert!(memcpy > 30.0, "memcpy share {memcpy:.1}%");
     }
 
@@ -498,8 +504,14 @@ mod tests {
         let r1 = run(Benchmark::Lj, 1, 1);
         let r8 = run(Benchmark::Lj, 1, 8);
         let eff = r8.parallel_efficiency(&r1);
-        assert!(eff < 0.7, "32k atoms on 8 GPUs should scale poorly, eff {eff:.2}");
-        assert!(r8.ts_per_sec >= r1.ts_per_sec * 0.8, "still no catastrophic slowdown");
+        assert!(
+            eff < 0.7,
+            "32k atoms on 8 GPUs should scale poorly, eff {eff:.2}"
+        );
+        assert!(
+            r8.ts_per_sec >= r1.ts_per_sec * 0.8,
+            "still no catastrophic slowdown"
+        );
     }
 
     #[test]
@@ -525,14 +537,33 @@ mod tests {
     fn double_precision_slows_lj_markedly() {
         // The paper's Figure 16 effect is clearest at the large size, where
         // kernel and transfer volumes dominate the per-rank latency floor.
-        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap().at_scale(4).unwrap();
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1)
+            .unwrap()
+            .at_scale(4)
+            .unwrap();
         let (bx, x) = build_positions(Benchmark::Lj, 4, 1).unwrap();
         let model = GpuModel::new();
         let s = model
-            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus: 8, precision: PrecisionMode::Single })
+            .simulate(
+                &profile,
+                &bx,
+                &x,
+                &GpuRunOptions {
+                    gpus: 8,
+                    precision: PrecisionMode::Single,
+                },
+            )
             .unwrap();
         let d = model
-            .simulate(&profile, &bx, &x, &GpuRunOptions { gpus: 8, precision: PrecisionMode::Double })
+            .simulate(
+                &profile,
+                &bx,
+                &x,
+                &GpuRunOptions {
+                    gpus: 8,
+                    precision: PrecisionMode::Double,
+                },
+            )
             .unwrap();
         let ratio = s.ts_per_sec / d.ts_per_sec;
         assert!(ratio > 1.12, "single/double ratio {ratio:.3}");

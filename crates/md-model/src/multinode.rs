@@ -109,7 +109,11 @@ impl MultiNodeModel {
         let shell_atoms = 6.0 * node_volume.powf(2.0 / 3.0) * profile.ghost_cutoff * density;
         let bytes = shell_atoms
             * (calib::FORWARD_BYTES_PER_GHOST
-                + if profile.newton { calib::REVERSE_BYTES_PER_GHOST } else { 0.0 });
+                + if profile.newton {
+                    calib::REVERSE_BYTES_PER_GHOST
+                } else {
+                    0.0
+                });
         let link = LinkModel {
             latency: self.fabric.latency,
             bandwidth: self.fabric.bandwidth,
@@ -180,7 +184,12 @@ mod tests {
         let hdr = lj_sweep(Interconnect::hdr100());
         let eth = lj_sweep(Interconnect::ethernet10());
         for (a, b) in hdr.iter().zip(&eth).skip(1) {
-            assert!(a.ts_per_sec > b.ts_per_sec, "{} vs {}", a.ts_per_sec, b.ts_per_sec);
+            assert!(
+                a.ts_per_sec > b.ts_per_sec,
+                "{} vs {}",
+                a.ts_per_sec,
+                b.ts_per_sec
+            );
         }
     }
 }

@@ -73,10 +73,12 @@ impl WorkloadProfile {
             .map_or(0, |n| n.stats().builds);
         deck.simulation.run(steps)?;
         let sim = &deck.simulation;
-        let nl = sim.neighbor_list().ok_or_else(|| CoreError::InvalidParameter {
-            name: "profile",
-            reason: "benchmark has no pair style".to_string(),
-        })?;
+        let nl = sim
+            .neighbor_list()
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "profile",
+                reason: "benchmark has no pair style".to_string(),
+            })?;
         let stats = nl.stats();
         let rebuilds = (stats.builds - builds_before).max(1);
         let atoms = sim.atoms();
@@ -84,16 +86,13 @@ impl WorkloadProfile {
         // Steady-state rebuild cadence: the measured count is biased low
         // while the generated lattice relaxes, so floor it with the
         // ballistic estimate (time for an RMS-speed atom to cross skin/2).
-        let mean_speed =
-            atoms.v().iter().map(|v| v.norm()).sum::<f64>() / n.max(1) as f64;
+        let mean_speed = atoms.v().iter().map(|v| v.norm()).sum::<f64>() / n.max(1) as f64;
         let ballistic = if mean_speed > 0.0 {
             0.5 * nl.skin() / (mean_speed * sim.dt())
         } else {
             f64::INFINITY
         };
-        let rebuild_interval = (steps as f64 / rebuilds as f64)
-            .max(ballistic)
-            .min(200.0);
+        let rebuild_interval = (steps as f64 / rebuilds as f64).max(ballistic).min(200.0);
         let bonded = atoms.bonds().len() + atoms.angles().len() + atoms.dihedrals().len();
         let bxl = sim.sim_box().lengths();
         let qsqsum: f64 = atoms.charges().iter().map(|q| q * q).sum();

@@ -1,0 +1,330 @@
+//! Exporters: Chrome `trace_event` JSON, JSONL metrics, and a text report.
+//!
+//! The Chrome trace opens directly in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev): one timeline lane (`tid`) per
+//! virtual rank (lane 0 is the real engine), spans categorized by task /
+//! MPI function / k-space kernel, counter tracks for the engine counters.
+//! The JSONL export is one self-describing object per line (steps, then
+//! histogram summaries, then counters) for downstream pandas/jq analysis.
+
+use crate::json::escape;
+use crate::recorder::{Phase, Recorder, TraceEvent};
+use crate::series::{StepSample, NUM_TASKS, TASK_LABELS};
+use std::fmt::Write as _;
+
+/// Formats one event as a Chrome `trace_event` object.
+fn chrome_event(ev: &TraceEvent, pid: u32) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"name\":{},\"cat\":{},\"pid\":{pid},\"tid\":{}",
+        escape(ev.name),
+        escape(ev.cat),
+        ev.lane,
+    );
+    match ev.phase {
+        Phase::Span => {
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3}",
+                ev.ts_us, ev.dur_us
+            );
+        }
+        Phase::Instant => {
+            let _ = write!(out, ",\"ph\":\"i\",\"ts\":{:.3},\"s\":\"t\"", ev.ts_us);
+        }
+        Phase::Counter => {
+            let _ = write!(
+                out,
+                ",\"ph\":\"C\",\"ts\":{:.3},\"args\":{{\"value\":{}}}",
+                ev.ts_us, ev.value,
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the recorder's events as a complete Chrome trace JSON document.
+///
+/// Lanes are announced with `thread_name` metadata events, so the rank
+/// labels appear in the tracer UI. Span events within a lane are sorted by
+/// start timestamp (Chrome requires per-thread monotonicity).
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    const PID: u32 = 1;
+    rec.with_state(|st| {
+        let mut parts: Vec<String> = Vec::with_capacity(st.events.len() + st.lanes.len() + 1);
+        parts.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
+             \"args\":{{\"name\":\"verlette\"}}}}"
+        ));
+        for (lane, name) in &st.lanes {
+            parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{lane},\
+                 \"args\":{{\"name\":{}}}}}",
+                escape(name),
+            ));
+        }
+        let mut events: Vec<&TraceEvent> = st.events.iter().collect();
+        events.sort_by(|a, b| {
+            (a.lane, a.ts_us)
+                .partial_cmp(&(b.lane, b.ts_us))
+                .expect("finite timestamps")
+        });
+        for ev in events {
+            parts.push(chrome_event(ev, PID));
+        }
+        let mut out = String::with_capacity(parts.iter().map(|p| p.len() + 2).sum::<usize>() + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(p);
+        }
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{}}}}}",
+            st.dropped_events,
+        );
+        out
+    })
+}
+
+fn jsonl_step(s: &StepSample) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"kind\":\"step\",\"step\":{},\"wall_seconds\":{:.9},\"neighbor_rebuild\":{},\
+         \"ghost_atoms\":{},\"pair_interactions\":{},\"energy_drift\":{:.6e}",
+        s.step,
+        s.wall_seconds,
+        s.neighbor_rebuild,
+        s.ghost_atoms,
+        s.pair_interactions,
+        s.energy_drift,
+    );
+    out.push_str(",\"task_seconds\":{");
+    for (i, label) in TASK_LABELS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{:.9}", escape(label), s.task_seconds[i]);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the recorder's metrics as JSONL: step samples, histogram
+/// summaries, and counters — one JSON object per line.
+pub fn metrics_jsonl(rec: &Recorder) -> String {
+    rec.with_state(|st| {
+        let mut out = String::new();
+        for s in st.steps.iter() {
+            out.push_str(&jsonl_step(s));
+            out.push('\n');
+        }
+        for (name, hist) in &st.hists {
+            let s = hist.summary();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"min\":{:.6},\
+                 \"mean\":{:.6},\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"max\":{:.6}}}",
+                escape(name),
+                s.count,
+                s.min,
+                s.mean,
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max,
+            );
+        }
+        for (name, value) in &st.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":{},\"value\":{value}}}",
+                escape(name),
+            );
+        }
+        if st.steps.evicted() > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"note\",\"evicted_steps\":{},\"total_steps\":{}}}",
+                st.steps.evicted(),
+                st.steps.total_pushed(),
+            );
+        }
+        out
+    })
+}
+
+/// Renders a human-readable end-of-run profile: per-task totals over the
+/// retained steps, histogram quantiles, counters, and coverage notes.
+pub fn text_report(rec: &Recorder) -> String {
+    rec.with_state(|st| {
+        let mut out = String::new();
+        let _ = writeln!(out, "== md-observe profile ==");
+        let retained = st.steps.len();
+        let _ = writeln!(
+            out,
+            "steps: {retained} retained of {} recorded ({} evicted), {} trace events ({} dropped)",
+            st.steps.total_pushed(),
+            st.steps.evicted(),
+            st.events.len(),
+            st.dropped_events,
+        );
+
+        if retained > 0 {
+            let mut totals = [0.0f64; NUM_TASKS];
+            let mut wall = 0.0;
+            let mut rebuilds = 0u64;
+            for s in st.steps.iter() {
+                for (t, v) in totals.iter_mut().zip(&s.task_seconds) {
+                    *t += v;
+                }
+                wall += s.wall_seconds;
+                rebuilds += s.neighbor_rebuild as u64;
+            }
+            let task_total: f64 = totals.iter().sum();
+            let _ = writeln!(
+                out,
+                "\nper-task time over retained steps (wall {:.4}s, {} rebuilds):",
+                wall, rebuilds,
+            );
+            for (label, &secs) in TASK_LABELS.iter().zip(&totals) {
+                if secs > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "  {label:<8} {secs:>12.6}s  {:>5.1}%",
+                        if task_total > 0.0 {
+                            100.0 * secs / task_total
+                        } else {
+                            0.0
+                        },
+                    );
+                }
+            }
+        }
+
+        if !st.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms (p50 / p95 / p99):");
+            for (name, hist) in &st.hists {
+                let s = hist.summary();
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} n={:<8} {:>10.3} / {:>10.3} / {:>10.3}  (min {:.3}, max {:.3})",
+                    s.count, s.p50, s.p95, s.p99, s.min, s.max,
+                );
+            }
+        }
+
+        if !st.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, value) in &st.counters {
+                let _ = writeln!(out, "  {name:<24} {value}");
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::recorder::{ObserveConfig, Recorder};
+    use crate::series::StepSample;
+
+    fn populated_recorder() -> Recorder {
+        let rec = Recorder::new(ObserveConfig::default());
+        rec.set_lane_name(0, "engine");
+        rec.set_lane_name(1, "rank 1");
+        rec.record_span_at(0, "task", "Pair", 0.0, 10.0);
+        rec.record_span_at(0, "task", "Neigh", 10.0, 5.0);
+        rec.record_span_at(1, "mpi", "MPI_Wait", 2.0, 4.0);
+        rec.count(0, "neighbor_rebuilds", 1.0);
+        rec.observe("step_latency_us", 15.0);
+        rec.push_step(StepSample {
+            step: 1,
+            task_seconds: [0.0, 0.0, 0.0, 1e-6, 2e-6, 0.0, 0.0, 1e-5],
+            wall_seconds: 1.4e-5,
+            neighbor_rebuild: true,
+            ghost_atoms: 12,
+            pair_interactions: 640,
+            energy_drift: 1e-9,
+        });
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_lanes() {
+        let rec = populated_recorder();
+        let doc = chrome_trace_json(&rec);
+        let v = Json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process_name + 2 thread_name + 3 spans + 1 counter.
+        assert_eq!(events.len(), 7);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"Pair"));
+        assert!(names.contains(&"MPI_Wait"));
+        assert!(names.contains(&"thread_name"));
+    }
+
+    #[test]
+    fn chrome_trace_is_monotonic_per_lane() {
+        let rec = Recorder::default();
+        // Recorded out of order on purpose.
+        rec.record_span_at(0, "task", "B", 50.0, 1.0);
+        rec.record_span_at(0, "task", "A", 10.0, 1.0);
+        let doc = chrome_trace_json(&rec);
+        let v = Json::parse(&doc).unwrap();
+        let ts: Vec<f64> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![10.0, 50.0]);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let rec = populated_recorder();
+        let doc = metrics_jsonl(&rec);
+        let mut kinds = Vec::new();
+        for line in doc.lines() {
+            let v = Json::parse(line).expect("each JSONL line is valid JSON");
+            kinds.push(v.get("kind").unwrap().as_str().unwrap().to_string());
+        }
+        assert!(kinds.contains(&"step".to_string()));
+        assert!(kinds.contains(&"histogram".to_string()));
+        assert!(kinds.contains(&"counter".to_string()));
+    }
+
+    #[test]
+    fn text_report_mentions_tasks_and_counters() {
+        let rec = populated_recorder();
+        let report = text_report(&rec);
+        assert!(report.contains("Pair"));
+        assert!(report.contains("neighbor_rebuilds"));
+        assert!(report.contains("p50"));
+    }
+
+    #[test]
+    fn empty_recorder_exports_cleanly() {
+        let rec = Recorder::default();
+        let doc = chrome_trace_json(&rec);
+        assert!(Json::parse(&doc).is_ok());
+        assert_eq!(metrics_jsonl(&rec), "");
+        assert!(text_report(&rec).contains("0 trace events"));
+    }
+}

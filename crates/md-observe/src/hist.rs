@@ -1,0 +1,220 @@
+//! Log-bucketed histograms with quantile summaries.
+//!
+//! Buckets are quarter-powers-of-two: bucket `i` covers
+//! `[2^(i/4), 2^((i+1)/4))` in the measured unit, giving ≤ ~19% relative
+//! quantile error over an enormous dynamic range with a few hundred fixed
+//! buckets and no allocation per observation — the structure the paper's
+//! per-step latency and rebuild-interval distributions need.
+
+/// Number of quarter-log2 buckets (covers ~2^64 of dynamic range).
+const BUCKETS: usize = 256;
+
+/// Smallest resolvable value; everything below lands in bucket 0.
+const MIN_VALUE: f64 = 1e-3;
+
+/// A fixed-size log-bucketed histogram of non-negative samples.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+/// Quantile and moment summary of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket-interpolated).
+    pub p50: f64,
+    /// 95th percentile (bucket-interpolated).
+    pub p95: f64,
+    /// 99th percentile (bucket-interpolated).
+    pub p99: f64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value <= MIN_VALUE {
+            return 0;
+        }
+        let idx = (4.0 * (value / MIN_VALUE).log2()).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_lo(i: usize) -> f64 {
+        MIN_VALUE * 2f64.powf(i as f64 / 4.0)
+    }
+
+    /// Records one sample (negative and non-finite samples are ignored).
+    #[inline]
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), interpolated within its bucket;
+    /// `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Linear interpolation inside the bucket.
+                let frac = (target - seen) as f64 / c as f64;
+                let lo = Self::bucket_lo(i);
+                let hi = Self::bucket_lo(i + 1);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Full summary (zeroes when empty).
+    pub fn summary(&self) -> HistSummary {
+        if self.count == 0 {
+            return HistSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        HistSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = LogHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // Log buckets guarantee ≤ 2^(1/4)-1 ≈ 19% relative error.
+        assert!((s.p50 / 500.0 - 1.0).abs() < 0.2, "p50 {}", s.p50);
+        assert!((s.p95 / 950.0 - 1.0).abs() < 0.2, "p95 {}", s.p95);
+        assert!((s.p99 / 990.0 - 1.0).abs() < 0.2, "p99 {}", s.p99);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        for i in 0..500 {
+            h.observe(0.5 + (i % 97) as f64 * 3.0);
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 1..100 {
+            a.observe(i as f64);
+            b.observe(1000.0 + i as f64);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), a.count() + b.count());
+        assert_eq!(m.summary().max, b.summary().max);
+        assert_eq!(m.summary().min, a.summary().min);
+    }
+
+    #[test]
+    fn ignores_junk_samples() {
+        let mut h = LogHistogram::new();
+        h.observe(f64::NAN);
+        h.observe(-1.0);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+}

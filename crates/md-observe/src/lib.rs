@@ -1,0 +1,42 @@
+//! # md-observe — per-step tracing, counters, and trace export
+//!
+//! Observability layer for the MD engine and the virtual cluster, built for
+//! the paper's characterization workflow ("Characterizing Molecular Dynamics
+//! Simulation on Commodity Platforms", IISWC 2022): the study's core output
+//! is a per-task time breakdown (LAMMPS' `Pair`/`Bond`/`Kspace`/`Neigh`/
+//! `Comm`/`Modify`/`Output`/`Other` taxonomy) plus per-rank MPI timelines,
+//! so this crate records exactly those shapes and exports them in formats a
+//! performance engineer can open directly.
+//!
+//! Pieces:
+//!
+//! - [`Recorder`] — shared sink for typed spans, counters, gauges, and
+//!   histograms. Cloning is an `Arc` bump. When disabled, every hook is a
+//!   single relaxed atomic load: no allocation, no lock, no clock read, so
+//!   the engine keeps its instrumentation wired permanently.
+//! - [`StepSeries`] / [`StepSample`] — ring-buffered per-timestep series of
+//!   the eight task timings plus engine counters (neighbor rebuilds, ghost
+//!   counts, pair-interaction counts, energy drift).
+//! - [`LogHistogram`] — log-bucketed latency/interval distributions with
+//!   p50/p95/p99 summaries.
+//! - [`export`] — Chrome `trace_event` JSON (one lane per virtual rank,
+//!   viewable in `chrome://tracing` / Perfetto), JSONL metrics, and a
+//!   human-readable end-of-run profile report.
+//! - [`Json`] — a small strict JSON parser so tests can validate exported
+//!   traces without external dependencies.
+//!
+//! md-observe is a leaf crate: the engine crates depend on it, never the
+//! reverse. The [`TASK_LABELS`] order mirrors `md_core::TaskKind::ALL` and
+//! is cross-checked by a test on the md-core side.
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod series;
+
+pub use export::{chrome_trace_json, metrics_jsonl, text_report};
+pub use hist::{HistSummary, LogHistogram};
+pub use json::Json;
+pub use recorder::{ObserveConfig, Phase, Recorder, SpanGuard, TraceEvent};
+pub use series::{StepSample, StepSeries, NUM_TASKS, TASK_LABELS};

@@ -130,7 +130,13 @@ mod tests {
     fn uniform(n: usize, l: f64, seed: u64) -> Vec<V3> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
             .collect()
     }
 
@@ -161,7 +167,8 @@ mod tests {
     fn ghost_ratio_grows_with_rank_count() {
         let bx = SimBox::cubic(20.0);
         let x = uniform(8000, 20.0, 3);
-        let r8 = WorkloadCensus::measure(&Decomposition::new(bx, 8).unwrap(), &x, 2.0).ghost_ratio();
+        let r8 =
+            WorkloadCensus::measure(&Decomposition::new(bx, 8).unwrap(), &x, 2.0).ghost_ratio();
         let r64 =
             WorkloadCensus::measure(&Decomposition::new(bx, 64).unwrap(), &x, 2.0).ghost_ratio();
         assert!(r64 > r8, "{r64} vs {r8}");

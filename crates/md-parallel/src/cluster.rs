@@ -10,6 +10,13 @@
 
 use crate::mpi::{MpiFunction, MpiLedger};
 use md_core::{TaskKind, TaskLedger};
+use md_observe::Recorder;
+
+/// First trace lane used by virtual ranks (lane 0 is the real engine).
+const RANK_LANE_BASE: u32 = 1;
+
+/// Simulated seconds → trace microseconds.
+const US: f64 = 1e6;
 
 /// A latency/bandwidth model of one communication link.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -39,6 +46,7 @@ struct VirtualRank {
 #[derive(Debug, Clone)]
 pub struct VirtualCluster {
     ranks: Vec<VirtualRank>,
+    recorder: Recorder,
 }
 
 impl VirtualCluster {
@@ -51,7 +59,24 @@ impl VirtualCluster {
         assert!(n > 0, "cluster needs at least one rank");
         VirtualCluster {
             ranks: vec![VirtualRank::default(); n],
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Every rank gets its own trace
+    /// lane (`1..=nranks`, lane 0 is the real engine); compute and MPI
+    /// operations are recorded as spans at *simulated* timestamps, so the
+    /// exported Chrome trace shows the paper's imbalance as a timeline.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for r in 0..self.nranks() {
+            recorder.set_lane_name(Self::lane(r), format!("rank {r}"));
+        }
+        self.recorder = recorder;
+    }
+
+    /// Trace lane of rank `r`.
+    fn lane(r: usize) -> u32 {
+        RANK_LANE_BASE + r as u32
     }
 
     /// Rank count.
@@ -62,6 +87,13 @@ impl VirtualCluster {
     /// Advances rank `r` by `seconds` of compute attributed to `task`.
     pub fn compute(&mut self, r: usize, task: TaskKind, seconds: f64) {
         let rank = &mut self.ranks[r];
+        self.recorder.record_span_at(
+            Self::lane(r),
+            "task",
+            task.label(),
+            rank.clock * US,
+            seconds * US,
+        );
         rank.clock += seconds;
         rank.tasks.add(task, seconds);
     }
@@ -72,7 +104,9 @@ impl VirtualCluster {
     pub fn mpi_init(&mut self, base: f64, per_rank: f64) {
         let p = self.nranks() as f64;
         let cost = base + per_rank * p;
-        for rank in &mut self.ranks {
+        let rec = self.recorder.clone();
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            rec.record_span_at(Self::lane(r), "mpi", "MPI_Init", rank.clock * US, cost * US);
             rank.clock += cost;
             rank.mpi.add(MpiFunction::Init, cost);
             rank.tasks.add(TaskKind::Other, cost);
@@ -110,15 +144,34 @@ impl VirtualCluster {
                 .map(|&p| bytes[p] / partners[p].len().max(1) as f64)
                 .sum();
             let sent = if any_partner { bytes[r] } else { 0.0 };
-            let xfer = if any_partner { link.transfer(sent + recv) } else { 0.0 };
+            let xfer = if any_partner {
+                link.transfer(sent + recv)
+            } else {
+                0.0
+            };
             let rank = &mut self.ranks[r];
+            let lane = Self::lane(r);
+            if wait + xfer > 0.0 {
+                // Enclosing task span; the MPI spans below nest inside it.
+                self.recorder.record_span_at(
+                    lane,
+                    "task",
+                    "Comm",
+                    clocks[r] * US,
+                    (wait + xfer) * US,
+                );
+            }
             rank.clock = sync_to + xfer;
             if wait > 0.0 {
+                self.recorder
+                    .record_span_at(lane, "mpi", "MPI_Wait", clocks[r] * US, wait * US);
                 rank.mpi.add(MpiFunction::Wait, wait);
                 rank.mpi.add_skew(wait);
                 rank.tasks.add(TaskKind::Comm, wait);
             }
             if xfer > 0.0 {
+                self.recorder
+                    .record_span_at(lane, "mpi", "MPI_Sendrecv", sync_to * US, xfer * US);
                 rank.mpi.add(MpiFunction::Sendrecv, xfer);
                 rank.tasks.add(TaskKind::Comm, xfer);
             }
@@ -134,13 +187,24 @@ impl VirtualCluster {
         let max_clock = self.max_clock();
         let stages = (self.nranks() as f64).log2().ceil().max(1.0);
         let cost = stages * link.transfer(bytes);
-        for rank in &mut self.ranks {
+        let rec = self.recorder.clone();
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            let lane = Self::lane(r);
             let wait = max_clock - rank.clock;
+            rec.record_span_at(
+                lane,
+                "task",
+                task.label(),
+                rank.clock * US,
+                (wait.max(0.0) + cost) * US,
+            );
             if wait > 0.0 {
+                rec.record_span_at(lane, "mpi", "MPI_Wait", rank.clock * US, wait * US);
                 rank.mpi.add(MpiFunction::Wait, wait);
                 rank.mpi.add_skew(wait);
                 rank.tasks.add(task, wait);
             }
+            rec.record_span_at(lane, "mpi", "MPI_Allreduce", max_clock * US, cost * US);
             rank.clock = max_clock + cost;
             rank.mpi.add(MpiFunction::Allreduce, cost);
             rank.tasks.add(task, cost);
@@ -161,13 +225,24 @@ impl VirtualCluster {
         // the full volume over the shared link.
         let per_round = (p - 1.0) * link.latency + (p - 1.0) * bytes_per_rank / link.bandwidth;
         let cost = rounds as f64 * per_round;
-        for rank in &mut self.ranks {
+        let rec = self.recorder.clone();
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            let lane = Self::lane(r);
             let wait = max_clock - rank.clock;
+            rec.record_span_at(
+                lane,
+                "task",
+                TaskKind::Kspace.label(),
+                rank.clock * US,
+                (wait.max(0.0) + cost) * US,
+            );
             if wait > 0.0 {
+                rec.record_span_at(lane, "mpi", "MPI_Wait", rank.clock * US, wait * US);
                 rank.mpi.add(MpiFunction::Wait, wait);
                 rank.mpi.add_skew(wait);
                 rank.tasks.add(TaskKind::Kspace, wait);
             }
+            rec.record_span_at(lane, "mpi", "MPI_Send", max_clock * US, cost * US);
             rank.clock = max_clock + cost;
             rank.mpi.add(MpiFunction::Send, cost);
             rank.tasks.add(TaskKind::Kspace, cost);
@@ -181,7 +256,10 @@ impl VirtualCluster {
 
     /// The earliest rank clock.
     pub fn min_clock(&self) -> f64 {
-        self.ranks.iter().map(|r| r.clock).fold(f64::INFINITY, f64::min)
+        self.ranks
+            .iter()
+            .map(|r| r.clock)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean rank clock.
@@ -345,5 +423,36 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         let _ = VirtualCluster::new(0);
+    }
+
+    #[test]
+    fn recorder_gets_per_rank_lanes_at_simulated_time() {
+        let rec = Recorder::default();
+        let mut c = VirtualCluster::new(2);
+        c.set_recorder(rec.clone());
+        c.mpi_init(0.1, 0.0);
+        c.compute(0, TaskKind::Pair, 2.0);
+        c.compute(1, TaskKind::Pair, 1.0);
+        c.halo_exchange(&[vec![1], vec![0]], &[100.0; 2], LINK);
+
+        let events = rec.events();
+        // Ranks 0 and 1 map to lanes 1 and 2; the engine lane 0 is unused.
+        let lanes: std::collections::HashSet<u32> = events.iter().map(|e| e.lane).collect();
+        assert_eq!(lanes, [1u32, 2].into_iter().collect());
+        // The skewed rank 1 waited; its MPI_Wait span starts at its own
+        // simulated clock (0.1 init + 1.0 compute = 1.1 s → 1.1e6 µs).
+        let wait = events
+            .iter()
+            .find(|e| e.name == "MPI_Wait")
+            .expect("skew produces an MPI_Wait span");
+        assert_eq!(wait.lane, 2);
+        assert!((wait.ts_us - 1.1e6).abs() < 1.0, "ts {}", wait.ts_us);
+        assert!((wait.dur_us - 1.0e6).abs() < 1.0, "dur {}", wait.dur_us);
+        // Comm task spans and MPI_Sendrecv spans are both present.
+        assert!(events.iter().any(|e| e.cat == "task" && e.name == "Comm"));
+        assert!(events.iter().any(|e| e.name == "MPI_Sendrecv"));
+        assert!(events.iter().any(|e| e.name == "MPI_Init"));
+        // Ledger bookkeeping is unchanged by tracing.
+        assert!((c.mpi_ledger(1).skew_seconds() - 1.0).abs() < 1e-12);
     }
 }

@@ -52,12 +52,12 @@ impl ProcGrid {
         }
         let mut best: Option<(f64, ProcGrid)> = None;
         for px in 1..=p {
-            if p % px != 0 {
+            if !p.is_multiple_of(px) {
                 continue;
             }
             let rem = p / px;
             for py in 1..=rem {
-                if rem % py != 0 {
+                if !rem.is_multiple_of(py) {
                     continue;
                 }
                 let pz = rem / py;
@@ -69,7 +69,7 @@ impl ProcGrid {
                 // Surface area of one subdomain brick.
                 let surf = 2.0 * (sx * sy + sy * sz + sx * sz);
                 let grid = ProcGrid { px, py, pz };
-                if best.map_or(true, |(s, _)| surf < s) {
+                if best.is_none_or(|(s, _)| surf < s) {
                     best = Some((surf, grid));
                 }
             }
@@ -213,7 +213,11 @@ mod tests {
 
     #[test]
     fn rank_coords_roundtrip() {
-        let g = ProcGrid { px: 3, py: 4, pz: 5 };
+        let g = ProcGrid {
+            px: 3,
+            py: 4,
+            pz: 5,
+        };
         for r in 0..g.count() {
             let (x, y, z) = g.coords_of(r);
             assert_eq!(g.rank_of(x, y, z), r);

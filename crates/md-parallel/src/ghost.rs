@@ -8,7 +8,7 @@
 //! MPI parallelization.
 
 use crate::decomposition::Decomposition;
-use md_core::{V3, Vec3};
+use md_core::{Vec3, V3};
 
 /// Ghost sets of one rank.
 #[derive(Debug, Clone, Default)]
@@ -167,7 +167,13 @@ mod tests {
     fn random_positions(n: usize, l: f64, seed: u64) -> Vec<V3> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
             .collect()
     }
 
@@ -206,9 +212,8 @@ mod tests {
                     for sy in [-1.0, 0.0, 1.0] {
                         for sz in [-1.0, 0.0, 1.0] {
                             let im = p + Vec3::new(sx * l.x, sy * l.y, sz * l.z);
-                            let inside_ext = (0..3).all(|dd| {
-                                im[dd] >= lo[dd] - cutoff && im[dd] <= hi[dd] + cutoff
-                            });
+                            let inside_ext = (0..3)
+                                .all(|dd| im[dd] >= lo[dd] - cutoff && im[dd] <= hi[dd] + cutoff);
                             let owned_here =
                                 sx == 0.0 && sy == 0.0 && sz == 0.0 && d.rank_of_position(p) == r;
                             if inside_ext && !owned_here {

@@ -2,7 +2,9 @@
 //! Figures 5 and 12 break the MPI overhead into.
 
 /// The MPI functions the characterization distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum MpiFunction {
     /// `MPI_Allreduce` — global reductions (thermo output, FFT norms).
     Allreduce,

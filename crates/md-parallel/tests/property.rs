@@ -1,7 +1,9 @@
 //! Property-based tests for the decomposition and the virtual cluster.
 
 use md_core::{SimBox, TaskKind, Vec3, V3};
-use md_parallel::{Decomposition, GhostExchange, LinkModel, ProcGrid, VirtualCluster, WorkloadCensus};
+use md_parallel::{
+    Decomposition, GhostExchange, LinkModel, ProcGrid, VirtualCluster, WorkloadCensus,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -81,7 +81,7 @@ impl BondStyle for FeneBond {
             let r0 = self.r0[t];
             let r02 = r0 * r0;
             let ratio = (r2 / r02).min(1.0 - 1e-9); // clamp near full extension
-            // Attractive FENE part: fpair = -K / (1 - (r/R0)^2).
+                                                    // Attractive FENE part: fpair = -K / (1 - (r/R0)^2).
             let mut fpair = -self.k[t] / (1.0 - ratio);
             evdwl += -0.5 * self.k[t] * r02 * (1.0 - ratio).ln();
             // Repulsive WCA core.
@@ -150,7 +150,11 @@ impl BondStyle for HarmonicBond {
             let r = d.norm();
             let dr = r - self.r0[t];
             evdwl += self.k[t] * dr * dr;
-            let fpair = if r > 0.0 { -2.0 * self.k[t] * dr / r } else { 0.0 };
+            let fpair = if r > 0.0 {
+                -2.0 * self.k[t] * dr / r
+            } else {
+                0.0
+            };
             let df = d * fpair;
             f[i] += df;
             f[j] -= df;
@@ -363,7 +367,11 @@ mod tests {
         let bx = big_box();
         for r in [0.8, 0.97, 1.2, 1.4] {
             let x = vec![Vec3::new(50.0, 50.0, 50.0), Vec3::new(50.0 + r, 50.0, 50.0)];
-            let bonds = vec![Bond { kind: 0, i: 0, j: 1 }];
+            let bonds = vec![Bond {
+                kind: 0,
+                i: 0,
+                j: 1,
+            }];
             let mut f = vec![Vec3::zero(); 2];
             fene.compute(&bx, &x, &bonds, &mut f);
             let h = 1e-7;
@@ -389,7 +397,11 @@ mod tests {
         let mut hb = HarmonicBond::new(&[(100.0, 1.5)]).unwrap();
         let bx = big_box();
         let x = vec![Vec3::new(10.0, 10.0, 10.0), Vec3::new(11.7, 10.0, 10.0)];
-        let bonds = vec![Bond { kind: 0, i: 0, j: 1 }];
+        let bonds = vec![Bond {
+            kind: 0,
+            i: 0,
+            j: 1,
+        }];
         let mut f = vec![Vec3::zero(); 2];
         let e = hb.compute(&bx, &x, &bonds, &mut f);
         assert!((e.evdwl - 100.0 * 0.04).abs() < 1e-10);
@@ -406,7 +418,12 @@ mod tests {
             Vec3::new(10.0, 10.0, 10.0),
             Vec3::new(10.0, 11.0, 10.0),
         ];
-        let angles = vec![Angle { kind: 0, i: 0, j: 1, k: 2 }];
+        let angles = vec![Angle {
+            kind: 0,
+            i: 0,
+            j: 1,
+            k: 2,
+        }];
         let mut f = vec![Vec3::zero(); 3];
         let e = ha.compute(&bx, &x, &angles, &mut f);
         assert!(e.evdwl.abs() < 1e-12);
@@ -422,7 +439,12 @@ mod tests {
             Vec3::new(10.0, 10.0, 10.0),
             Vec3::new(9.8, 11.2, 10.4),
         ];
-        let angles = vec![Angle { kind: 0, i: 0, j: 1, k: 2 }];
+        let angles = vec![Angle {
+            kind: 0,
+            i: 0,
+            j: 1,
+            k: 2,
+        }];
         let energy = |x: &[V3]| {
             let mut style = HarmonicAngle::new(&[(35.0, 104.5)]).unwrap();
             let mut f = vec![Vec3::zero(); 3];
@@ -473,7 +495,13 @@ mod tests {
             Vec3::new(1.2, 0.1, -0.1),
             Vec3::new(1.5, -0.9, 0.6),
         ];
-        let dihedrals = vec![Dihedral { kind: 0, i: 0, j: 1, k: 2, l: 3 }];
+        let dihedrals = vec![Dihedral {
+            kind: 0,
+            i: 0,
+            j: 1,
+            k: 2,
+            l: 3,
+        }];
         let energy = |x: &[V3]| {
             let mut style = CharmmDihedral::new(&[(2.5, 2, 180.0)]).unwrap();
             let mut f = vec![Vec3::zero(); 4];

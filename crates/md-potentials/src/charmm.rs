@@ -306,7 +306,7 @@ mod tests {
     fn truncated_coulomb_matches_qq_over_r() {
         let mut s = style();
         let (e, f) = charged_dimer(&mut s, 5.0, 1.0, -1.0);
-        let want = UnitSystem::real().qqr2e * -1.0 / 5.0;
+        let want = -UnitSystem::real().qqr2e / 5.0;
         assert!((e.ecoul - want).abs() < 1e-10, "{} vs {want}", e.ecoul);
         // Opposite charges attract: force on atom 0 along +x.
         assert!(f[0].x > 0.0);

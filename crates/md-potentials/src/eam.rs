@@ -41,7 +41,14 @@ impl SuttonChenEam {
     /// # Errors
     ///
     /// Returns an error for non-positive scales or cutoff.
-    pub fn new(epsilon: f64, a: f64, n: i32, m: i32, c: f64, cutoff: f64) -> Result<Self, CoreError> {
+    pub fn new(
+        epsilon: f64,
+        a: f64,
+        n: i32,
+        m: i32,
+        c: f64,
+        cutoff: f64,
+    ) -> Result<Self, CoreError> {
         if !(epsilon > 0.0 && a > 0.0 && c > 0.0 && cutoff > 0.0) {
             return Err(CoreError::InvalidParameter {
                 name: "sutton-chen",

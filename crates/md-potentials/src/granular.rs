@@ -118,8 +118,8 @@ impl PairStyle for GranHookeHistory {
 
                 // Tangential: history spring + dashpot, Coulomb-capped.
                 let key = (i as u32, j);
-                let mut shear = self.history.get(&key).copied().unwrap_or_else(Vec3::zero)
-                    + vt * dt;
+                let mut shear =
+                    self.history.get(&key).copied().unwrap_or_else(Vec3::zero) + vt * dt;
                 // Keep the history in the current tangent plane.
                 shear -= nhat * shear.dot(nhat);
                 let mut f_tang = shear * (-self.kt) - vt * (meff * self.gamma_t);

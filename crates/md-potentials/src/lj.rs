@@ -37,7 +37,11 @@ impl LjCut {
     ///
     /// Returns an error if a like-pair entry is missing, a type index is out
     /// of range, or the cutoff is non-positive.
-    pub fn new(ntypes: usize, coeffs: &[(u32, u32, f64, f64)], cutoff: f64) -> Result<Self, CoreError> {
+    pub fn new(
+        ntypes: usize,
+        coeffs: &[(u32, u32, f64, f64)],
+        cutoff: f64,
+    ) -> Result<Self, CoreError> {
         Self::with_mixing(ntypes, coeffs, cutoff, MixingRule::Geometric)
     }
 
@@ -269,7 +273,10 @@ mod tests {
         let (_, f) = compute_dimer(&mut lj, 1.0);
         assert!(f[0].x < 0.0 && f[1].x > 0.0, "should repel at r = sigma");
         let (_, f) = compute_dimer(&mut lj, 1.5);
-        assert!(f[0].x > 0.0 && f[1].x < 0.0, "should attract at r = 1.5 sigma");
+        assert!(
+            f[0].x > 0.0 && f[1].x < 0.0,
+            "should attract at r = 1.5 sigma"
+        );
     }
 
     #[test]

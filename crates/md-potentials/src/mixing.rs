@@ -23,7 +23,8 @@ impl MixingRule {
             MixingRule::SixthPower => {
                 let s6i = sig_i.powi(6);
                 let s6j = sig_j.powi(6);
-                let eps = 2.0 * (eps_i * eps_j).sqrt() * sig_i.powi(3) * sig_j.powi(3) / (s6i + s6j);
+                let eps =
+                    2.0 * (eps_i * eps_j).sqrt() * sig_i.powi(3) * sig_j.powi(3) / (s6i + s6j);
                 let sig = (0.5 * (s6i + s6j)).powf(1.0 / 6.0);
                 (eps, sig)
             }
@@ -52,7 +53,11 @@ mod tests {
 
     #[test]
     fn like_pairs_are_fixed_points() {
-        for rule in [MixingRule::Arithmetic, MixingRule::Geometric, MixingRule::SixthPower] {
+        for rule in [
+            MixingRule::Arithmetic,
+            MixingRule::Geometric,
+            MixingRule::SixthPower,
+        ] {
             let (e, s) = rule.mix(0.8, 2.0, 0.8, 2.0);
             assert!((e - 0.8).abs() < 1e-12, "{rule}: eps {e}");
             assert!((s - 2.0).abs() < 1e-12, "{rule}: sig {s}");
@@ -75,10 +80,17 @@ mod tests {
 
     #[test]
     fn mixing_is_symmetric() {
-        for rule in [MixingRule::Arithmetic, MixingRule::Geometric, MixingRule::SixthPower] {
+        for rule in [
+            MixingRule::Arithmetic,
+            MixingRule::Geometric,
+            MixingRule::SixthPower,
+        ] {
             let a = rule.mix(0.5, 1.2, 2.0, 3.4);
             let b = rule.mix(2.0, 3.4, 0.5, 1.2);
-            assert!((a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12, "{rule}");
+            assert!(
+                (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12,
+                "{rule}"
+            );
         }
     }
 }

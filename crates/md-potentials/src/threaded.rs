@@ -192,14 +192,25 @@ mod tests {
         let bx = SimBox::cubic(l);
         let mut rng = StdRng::seed_from_u64(seed);
         let x: Vec<V3> = (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
             .collect();
         let mut nl = NeighborList::new(2.5, 0.3, NeighborListKind::Half);
         nl.build(&x, &bx).unwrap();
         (bx, x, nl)
     }
 
-    fn forces(style: &mut dyn PairStyle, bx: &SimBox, x: &[V3], nl: &NeighborList) -> (Vec<V3>, EnergyVirial) {
+    fn forces(
+        style: &mut dyn PairStyle,
+        bx: &SimBox,
+        x: &[V3],
+        nl: &NeighborList,
+    ) -> (Vec<V3>, EnergyVirial) {
         let n = x.len();
         let v = vec![Vec3::zero(); n];
         let kinds = vec![0u32; n];

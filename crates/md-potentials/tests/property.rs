@@ -2,7 +2,7 @@
 //! momentum, agree with numerical energy derivatives, and respect its
 //! analytic special points over random inputs.
 
-use md_core::neighbor::{NeighborList, NeighborListKind};
+use md_core::neighbor::NeighborList;
 use md_core::{PairStyle, PairSystem, SimBox, UnitSystem, Vec3, V3};
 use md_potentials::{LjCharmmCoulLong, LjCut, MixingRule, SuttonChenEam};
 use proptest::prelude::*;
@@ -23,12 +23,18 @@ impl Rig {
         // Rejection-sample to keep a minimum separation (avoids overflow in
         // r^-12 that would make derivative checks meaningless).
         while x.len() < n {
-            let p = Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l);
+            let p = Vec3::new(
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+            );
             if x.iter().all(|&o| bx.min_image(p, o).norm() > min_sep) {
                 x.push(p);
             }
         }
-        let q = (0..n).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let q = (0..n)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         Rig { bx, x, q }
     }
 

@@ -7,7 +7,7 @@
 //! every initial bond length sits safely inside the FENE well.
 
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
 use md_potentials::{FeneBond, LjCut};
 
 /// Reduced bead density.
@@ -132,7 +132,10 @@ mod tests {
                 .norm();
             rmax = rmax.max(r);
         }
-        assert!(rmax < 1.5, "max bond length {rmax} must stay under R0 = 1.5");
+        assert!(
+            rmax < 1.5,
+            "max bond length {rmax} must stay under R0 = 1.5"
+        );
     }
 
     #[test]

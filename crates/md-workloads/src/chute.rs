@@ -7,7 +7,7 @@
 //! in z. This is the one benchmark without Newton's-third-law pair halving
 //! and the one the reference GPU package cannot run.
 
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
 use md_potentials::{Freeze, GranHookeHistory, GranWall, Gravity};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -119,9 +119,12 @@ mod tests {
             assert!(atoms.v()[i].norm() < 1e-12, "base particle {i} moved");
         }
         // Flowing particles drift along +x (gravity tilt direction).
-        let mean_vx: f64 = atoms.v()[n_base..].iter().map(|v| v.x).sum::<f64>()
-            / (atoms.len() - n_base) as f64;
-        assert!(mean_vx > 0.0, "mean flow velocity {mean_vx} should be downhill");
+        let mean_vx: f64 =
+            atoms.v()[n_base..].iter().map(|v| v.x).sum::<f64>() / (atoms.len() - n_base) as f64;
+        assert!(
+            mean_vx > 0.0,
+            "mean flow velocity {mean_vx} should be downhill"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::lattice::fcc;
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
 use md_potentials::SuttonChenEam;
 
 /// Copper fcc lattice constant (Å).

@@ -61,7 +61,12 @@ pub fn write_data_string(bx: &SimBox, atoms: &AtomStore, style: AtomStyle) -> St
     if let Some(at) = angle_types {
         let _ = writeln!(s, "{at} angle types");
     }
-    let dih_types = atoms.dihedrals().iter().map(|d| d.kind).max().map(|m| m + 1);
+    let dih_types = atoms
+        .dihedrals()
+        .iter()
+        .map(|d| d.kind)
+        .max()
+        .map(|m| m + 1);
     if let Some(dt) = dih_types {
         let _ = writeln!(s, "{dt} dihedral types");
     }
@@ -133,7 +138,15 @@ pub fn write_data_string(bx: &SimBox, atoms: &AtomStore, style: AtomStyle) -> St
         let _ = writeln!(s, "Angles");
         let _ = writeln!(s);
         for (k, a) in atoms.angles().iter().enumerate() {
-            let _ = writeln!(s, "{} {} {} {} {}", k + 1, a.kind + 1, a.i + 1, a.j + 1, a.k + 1);
+            let _ = writeln!(
+                s,
+                "{} {} {} {} {}",
+                k + 1,
+                a.kind + 1,
+                a.i + 1,
+                a.j + 1,
+                a.k + 1
+            );
         }
     }
     if !atoms.dihedrals().is_empty() {
@@ -188,7 +201,14 @@ pub fn read_data_string(text: &str, style: AtomStyle) -> Result<(SimBox, AtomSto
     lines.next();
 
     // Header: read until the first named section.
-    let section_names = ["Masses", "Atoms", "Velocities", "Bonds", "Angles", "Dihedrals"];
+    let section_names = [
+        "Masses",
+        "Atoms",
+        "Velocities",
+        "Bonds",
+        "Angles",
+        "Dihedrals",
+    ];
     let mut section: Option<String> = None;
     for line in lines.by_ref() {
         let line = line.split('#').next().unwrap_or("").trim().to_string();
@@ -224,8 +244,12 @@ pub fn read_data_string(text: &str, style: AtomStyle) -> Result<(SimBox, AtomSto
                 ]
             }
             // Bond/angle/dihedral counts and types: tolerated, re-derived.
-            [_, "bonds"] | [_, "angles"] | [_, "dihedrals"] | [_, "bond", "types"]
-            | [_, "angle", "types"] | [_, "dihedral", "types"] => {}
+            [_, "bonds"]
+            | [_, "angles"]
+            | [_, "dihedrals"]
+            | [_, "bond", "types"]
+            | [_, "angle", "types"]
+            | [_, "dihedral", "types"] => {}
             _ => return Err(bad(format!("unrecognized header line {line:?}"))),
         }
     }
@@ -263,10 +287,13 @@ pub fn read_data_string(text: &str, style: AtomStyle) -> Result<(SimBox, AtomSto
             }
             let p: Vec<&str> = raw.split_whitespace().collect();
             let f = |s: &str| -> Result<f64> {
-                s.parse().map_err(|_| bad(format!("bad number {s:?} in {name}")))
+                s.parse()
+                    .map_err(|_| bad(format!("bad number {s:?} in {name}")))
             };
             let idx = |s: &str| -> Result<usize> {
-                let one: usize = s.parse().map_err(|_| bad(format!("bad id {s:?} in {name}")))?;
+                let one: usize = s
+                    .parse()
+                    .map_err(|_| bad(format!("bad id {s:?} in {name}")))?;
                 if one == 0 || one > natoms {
                     return Err(bad(format!("id {one} out of range in {name}")));
                 }
@@ -275,7 +302,11 @@ pub fn read_data_string(text: &str, style: AtomStyle) -> Result<(SimBox, AtomSto
             match name.as_str() {
                 "Masses" => {
                     let t: usize = idx(p[0]).map_or_else(
-                        |_| p[0].parse::<usize>().map(|v| v - 1).map_err(|_| bad("bad type".into())),
+                        |_| {
+                            p[0].parse::<usize>()
+                                .map(|v| v - 1)
+                                .map_err(|_| bad("bad type".into()))
+                        },
                         Ok,
                     )?;
                     if t >= masses.len() {
@@ -307,11 +338,7 @@ pub fn read_data_string(text: &str, style: AtomStyle) -> Result<(SimBox, AtomSto
                     let i = idx(p[0])?;
                     v[i] = Vec3::new(f(p[1])?, f(p[2])?, f(p[3])?);
                 }
-                "Bonds" => bonds.push((
-                    f(p[1])? as u32 - 1,
-                    idx(p[2])? as u32,
-                    idx(p[3])? as u32,
-                )),
+                "Bonds" => bonds.push((f(p[1])? as u32 - 1, idx(p[2])? as u32, idx(p[3])? as u32)),
                 "Angles" => angles.push((
                     f(p[1])? as u32 - 1,
                     idx(p[2])? as u32,
@@ -444,10 +471,13 @@ pub fn count_xyz_frames<R: BufRead>(reader: R) -> Result<usize> {
         if first.trim().is_empty() {
             continue;
         }
-        let n: usize = first.trim().parse().map_err(|_| CoreError::InvalidParameter {
-            name: "dump",
-            reason: format!("bad frame header {first:?}"),
-        })?;
+        let n: usize = first
+            .trim()
+            .parse()
+            .map_err(|_| CoreError::InvalidParameter {
+                name: "dump",
+                reason: format!("bad frame header {first:?}"),
+            })?;
         // Comment line + n atom lines.
         for _ in 0..=n {
             lines.next();
@@ -465,8 +495,22 @@ mod tests {
     fn sample_system() -> (SimBox, AtomStore) {
         let bx = SimBox::orthogonal(4.0, 5.0, 6.0);
         let mut atoms = AtomStore::new();
-        atoms.push_full(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.1, 0.2, 0.3), 0, -0.5, 0.0, 0);
-        atoms.push_full(Vec3::new(2.5, 1.5, 0.5), Vec3::new(-0.1, 0.0, 0.4), 1, 0.5, 0.0, 0);
+        atoms.push_full(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.1, 0.2, 0.3),
+            0,
+            -0.5,
+            0.0,
+            0,
+        );
+        atoms.push_full(
+            Vec3::new(2.5, 1.5, 0.5),
+            Vec3::new(-0.1, 0.0, 0.4),
+            1,
+            0.5,
+            0.0,
+            0,
+        );
         atoms.push_full(Vec3::new(3.0, 4.0, 5.0), Vec3::zero(), 0, 0.0, 0.0, 1);
         atoms.set_masses(vec![1.5, 2.5]);
         atoms.add_bond(0, 0, 1);

@@ -1,6 +1,6 @@
 //! Lattice generators for the benchmark decks.
 
-use md_core::{SimBox, V3, Vec3};
+use md_core::{SimBox, Vec3, V3};
 
 /// Generates an fcc lattice of `nx × ny × nz` conventional cells with
 /// lattice constant `a`, returning the box and the 4·nx·ny·nz positions.

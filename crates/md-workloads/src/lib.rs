@@ -45,7 +45,9 @@ pub use taxonomy::{DeckInfo, TAXONOMY};
 use md_core::{CoreError, Result, Simulation};
 
 /// The five benchmarks of the suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Benchmark {
     /// Bead-spring polymer melt with FENE bonds.
     Chain,
@@ -196,7 +198,11 @@ pub fn build_deck(benchmark: Benchmark, scale: usize, seed: u64) -> Result<Deck>
 /// # Errors
 ///
 /// Returns an error if `scale` is outside 1..=4.
-pub fn build_positions(benchmark: Benchmark, scale: usize, seed: u64) -> Result<(md_core::SimBox, Vec<md_core::V3>)> {
+pub fn build_positions(
+    benchmark: Benchmark,
+    scale: usize,
+    seed: u64,
+) -> Result<(md_core::SimBox, Vec<md_core::V3>)> {
     if !(1..=4).contains(&scale) {
         return Err(CoreError::InvalidParameter {
             name: "scale",

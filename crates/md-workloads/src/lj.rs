@@ -5,7 +5,7 @@
 
 use crate::lattice::{fcc, fcc_lattice_constant};
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
 use md_potentials::LjCut;
 
 /// Reduced density of the melt.

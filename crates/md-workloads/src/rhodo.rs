@@ -13,7 +13,7 @@
 use md_core::compute::seed_velocities;
 use md_core::constraint::{Shake, ShakeParams};
 use md_core::integrate::{NoseHooverNpt, NptParams};
-use md_core::{AtomStore, KspaceStyle, Result, SimBox, Simulation, UnitSystem, V3, Vec3};
+use md_core::{AtomStore, KspaceStyle, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
 use md_kspace::Pppm;
 use md_potentials::LjCharmmCoulLong;
 use rand::rngs::StdRng;
@@ -111,7 +111,13 @@ fn assemble(scale: usize, seed: u64) -> (SimBox, AtomStore, Vec<ShakeParams>) {
                         atoms.add_angle(0, first + b, first + b + 1, first + b + 2);
                     }
                     for b in 0..CHAIN_BEADS as u32 - 3 {
-                        atoms.add_dihedral(0, first + b, first + b + 1, first + b + 2, first + b + 3);
+                        atoms.add_dihedral(
+                            0,
+                            first + b,
+                            first + b + 1,
+                            first + b + 2,
+                            first + b + 3,
+                        );
                     }
                     molecule += 1;
                     chains_placed += 1;
@@ -138,9 +144,21 @@ fn assemble(scale: usize, seed: u64) -> (SimBox, AtomStore, Vec<ShakeParams>) {
                     atoms.add_bond(1, o, o + 1);
                     atoms.add_bond(1, o, o + 2);
                     atoms.add_angle(1, o + 1, o, o + 2);
-                    shake.push(ShakeParams { i: o, j: o + 1, length: R_OH });
-                    shake.push(ShakeParams { i: o, j: o + 2, length: R_OH });
-                    shake.push(ShakeParams { i: o + 1, j: o + 2, length: R_HH });
+                    shake.push(ShakeParams {
+                        i: o,
+                        j: o + 1,
+                        length: R_OH,
+                    });
+                    shake.push(ShakeParams {
+                        i: o,
+                        j: o + 2,
+                        length: R_OH,
+                    });
+                    shake.push(ShakeParams {
+                        i: o + 1,
+                        j: o + 2,
+                        length: R_HH,
+                    });
                     molecule += 1;
                     iz += 1;
                 }
@@ -207,7 +225,9 @@ pub fn build_with_error(scale: usize, seed: u64, kspace_error: f64) -> Result<Si
             (40.0, 120.0),  // chain
             (55.0, 104.52), // water
         ])?))
-        .dihedral(Box::new(md_potentials::CharmmDihedral::new(&[(1.0, 2, 180.0)])?))
+        .dihedral(Box::new(md_potentials::CharmmDihedral::new(&[(
+            1.0, 2, 180.0,
+        )])?))
         .kspace(Box::new(pppm))
         .integrator(Box::new(NoseHooverNpt::new(NptParams {
             t_target: TEMPERATURE,

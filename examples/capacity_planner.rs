@@ -26,7 +26,10 @@ fn main() -> Result<(), md_core::CoreError> {
     );
 
     println!("CPU instance (dual Xeon 8358):");
-    println!("{:>6}  {:>10}  {:>8}  {:>10}", "ranks", "TS/s", "watts", "TS/s/W");
+    println!(
+        "{:>6}  {:>10}  {:>8}  {:>10}",
+        "ranks", "TS/s", "watts", "TS/s/W"
+    );
     let mut best_cpu = (0usize, 0.0f64);
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
         let r = ctx.cpu_run(bench, scale, p)?;
@@ -41,7 +44,10 @@ fn main() -> Result<(), md_core::CoreError> {
 
     if bench.gpu_supported() {
         println!("\nGPU instance (8x V100):");
-        println!("{:>6}  {:>10}  {:>8}  {:>10}  {:>8}", "gpus", "TS/s", "watts", "TS/s/W", "util%");
+        println!(
+            "{:>6}  {:>10}  {:>8}  {:>10}  {:>8}",
+            "gpus", "TS/s", "watts", "TS/s/W", "util%"
+        );
         let mut best_gpu = (0usize, 0.0f64);
         for g in [1usize, 2, 4, 6, 8] {
             let r = ctx.gpu_run(bench, scale, g)?;

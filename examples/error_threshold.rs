@@ -20,9 +20,17 @@ fn main() -> Result<(), md_core::CoreError> {
     let l = 16.0;
     let bx = SimBox::cubic(l);
     let x: Vec<V3> = (0..240)
-        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .map(|_| {
+            Vec3::new(
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+            )
+        })
         .collect();
-    let q: Vec<f64> = (0..240).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let q: Vec<f64> = (0..240)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     // Total Coulomb force = reciprocal part (solver) + real-space erfc part
     // (normally the pair style); each solver picks its own splitting g, so
     // only the *total* is comparable across solvers.
@@ -37,8 +45,9 @@ fn main() -> Result<(), md_core::CoreError> {
                     let r = r2.sqrt();
                     let gr = g * r;
                     let qq = q[i] * q[j];
-                    let fpair = qq * (md_core::math::erfc(gr) / r
-                        + two_over_sqrt_pi * gr * (-gr * gr).exp() / r)
+                    let fpair = qq
+                        * (md_core::math::erfc(gr) / r
+                            + two_over_sqrt_pi * gr * (-gr * gr).exp() / r)
                         / r2;
                     f[i] += d * fpair;
                     f[j] -= d * fpair;
@@ -54,8 +63,7 @@ fn main() -> Result<(), md_core::CoreError> {
     for (fi, ri) in f_ref.iter_mut().zip(real_space_forces(reference.g_ewald())) {
         *fi += ri;
     }
-    let rms_ref =
-        (f_ref.iter().map(|v| v.norm2()).sum::<f64>() / x.len() as f64).sqrt();
+    let rms_ref = (f_ref.iter().map(|v| v.norm2()).sum::<f64>() / x.len() as f64).sqrt();
     println!("{:>10}  {:>14}  {:>12}", "threshold", "mesh", "rel. error");
     for err in [1e-3, 1e-4, 1e-5, 1e-6] {
         let mut pppm = Pppm::new(7.9, err, 5);

@@ -24,7 +24,10 @@ fn main() -> Result<(), md_core::CoreError> {
         bands[band].0 += atoms.v()[i].x;
         bands[band].1 += 1;
     }
-    println!("\ndownslope velocity profile after {} steps:", deck.simulation.step_index());
+    println!(
+        "\ndownslope velocity profile after {} steps:",
+        deck.simulation.step_index()
+    );
     println!("{:>10}  {:>10}  {:>8}", "height", "mean v_x", "atoms");
     for (k, (vx, n)) in bands.iter().enumerate() {
         if *n > 0 {

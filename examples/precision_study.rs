@@ -28,7 +28,10 @@ fn build(mode: PrecisionMode) -> Result<Simulation, md_core::CoreError> {
 }
 
 fn main() -> Result<(), md_core::CoreError> {
-    println!("LJ melt, {} atoms, 100 NVE steps per mode:\n", 4 * 14 * 14 * 14);
+    println!(
+        "LJ melt, {} atoms, 100 NVE steps per mode:\n",
+        4 * 14 * 14 * 14
+    );
     println!(
         "{:>8}  {:>10}  {:>14}  {:>14}",
         "mode", "TS/s", "final energy", "drift vs f64"

@@ -40,7 +40,12 @@ fn main() -> Result<(), md_core::CoreError> {
     for task in TaskKind::ALL {
         let pct = report.ledger.percent(task);
         if pct > 0.05 {
-            println!("  {:<8} {:>5.1}%  {}", task.label(), pct, "#".repeat((pct / 2.0) as usize));
+            println!(
+                "  {:<8} {:>5.1}%  {}",
+                task.label(),
+                pct,
+                "#".repeat((pct / 2.0) as usize)
+            );
         }
     }
     Ok(())

@@ -21,7 +21,10 @@ fn main() -> Result<(), md_core::CoreError> {
     println!("box: {}", sim.sim_box());
     println!(
         "neighbors/atom within cutoff: {:.0} (paper Table 2: 440)",
-        sim.neighbor_list().expect("pair style").stats().neighbors_within_cutoff
+        sim.neighbor_list()
+            .expect("pair style")
+            .stats()
+            .neighbors_within_cutoff
     );
 
     println!("\nrunning 10 NPT steps with SHAKE + PPPM (this exercises the");

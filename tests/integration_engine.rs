@@ -29,7 +29,10 @@ fn chain_deck_thermostat_cools_toward_unit_temperature() {
     let t_hot = deck.simulation.thermo().temperature;
     deck.simulation.run(250).unwrap();
     let t_later = deck.simulation.thermo().temperature;
-    assert!(t_hot > 1.0, "lattice release should heat the melt, T = {t_hot}");
+    assert!(
+        t_hot > 1.0,
+        "lattice release should heat the melt, T = {t_hot}"
+    );
     assert!(
         t_later < t_hot,
         "thermostat must cool toward 1.0: {t_hot} -> {t_later}"
@@ -58,9 +61,17 @@ fn pppm_and_ewald_agree_on_total_coulomb_energy() {
     let bx = SimBox::cubic(l);
     let n = 100;
     let x: Vec<V3> = (0..n)
-        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .map(|_| {
+            Vec3::new(
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+            )
+        })
         .collect();
-    let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    let q: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+        .collect();
     let cutoff = 6.9;
 
     let real_space = |g: f64| {
@@ -124,5 +135,8 @@ fn chute_flow_is_dissipative() {
     // Free fall after 300 steps (t = 0.03) would give v = g sinθ t ≈ 0.013
     // with zero friction; flow starts and stays of that order, not larger.
     assert!(mean_vx > 0.0, "flow must move downhill");
-    assert!(mean_vx < 0.05, "friction must limit acceleration, v = {mean_vx}");
+    assert!(
+        mean_vx < 0.05,
+        "friction must limit acceleration, v = {mean_vx}"
+    );
 }

@@ -77,7 +77,11 @@ fn cpu_performance_ordering() {
         }
     }
     let max = ts.values().copied().fold(0.0f64, f64::max);
-    assert_eq!(ts[&Benchmark::Chute], max, "chute leads small systems: {ts:?}");
+    assert_eq!(
+        ts[&Benchmark::Chute],
+        max,
+        "chute leads small systems: {ts:?}"
+    );
 }
 
 /// Paper Section 6: multi-GPU strong scaling is considerably worse than the

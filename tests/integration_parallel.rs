@@ -12,7 +12,13 @@ fn random_system(n: usize, l: f64, seed: u64) -> (SimBox, Vec<V3>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let bx = SimBox::cubic(l);
     let x = (0..n)
-        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .map(|_| {
+            Vec3::new(
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+                rng.gen::<f64>() * l,
+            )
+        })
         .collect();
     (bx, x)
 }
@@ -138,7 +144,10 @@ fn decomposed_forces_match_serial_for_anisotropic_grid() {
         let max_rel = (0..x.len())
             .map(|i| (serial[i] - decomposed[i]).norm() / serial[i].norm().max(1.0))
             .fold(0.0f64, f64::max);
-        assert!(max_rel < 1e-9, "ranks {ranks}: max relative force error {max_rel}");
+        assert!(
+            max_rel < 1e-9,
+            "ranks {ranks}: max relative force error {max_rel}"
+        );
     }
 }
 
@@ -149,7 +158,15 @@ fn census_ghosts_match_explicit_exchange() {
     let exchange = GhostExchange::build(&d, &x, 1.8);
     let census = WorkloadCensus::measure(&d, &x, 1.8);
     for r in 0..16 {
-        assert_eq!(census.loads()[r].owned, exchange.rank(r).owned.len(), "rank {r} owned");
-        assert_eq!(census.loads()[r].ghosts, exchange.rank(r).ghosts.len(), "rank {r} ghosts");
+        assert_eq!(
+            census.loads()[r].owned,
+            exchange.rank(r).owned.len(),
+            "rank {r} owned"
+        );
+        assert_eq!(
+            census.loads()[r].ghosts,
+            exchange.rank(r).ghosts.len(),
+            "rank {r} ghosts"
+        );
     }
 }

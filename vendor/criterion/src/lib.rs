@@ -1,0 +1,322 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable from the build container, so this vendored
+//! crate implements the subset of the criterion 0.5 API that verlette's
+//! benches use — `Criterion`, `BenchmarkGroup`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring with plain
+//! wall-clock timing and printing a mean/min/max summary per benchmark. No
+//! statistical analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time here).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in's timer,
+/// which always times the routine alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max: f64,
+    /// Total iterations executed.
+    pub iters: u64,
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher<'a> {
+    config: MeasureConfig,
+    result: &'a mut Option<Summary>,
+}
+
+impl Bencher<'_> {
+    /// Times `body` repeatedly (criterion's `Bencher::iter`).
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(body());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Calibrate iterations per sample from one timed call.
+        let t0 = Instant::now();
+        black_box(body());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = (per_sample / once).clamp(1.0, 1e7) as u64;
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let mut total_iters = 1u64;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        *self.result = Some(Summary {
+            mean,
+            min,
+            max,
+            iters: total_iters,
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`, timing only the
+    /// routine (criterion's `Bencher::iter_batched`).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let mut measured = Duration::ZERO;
+        let budget = self.config.measurement_time;
+        let mut iters = 0u64;
+        while measured < budget && samples.len() < self.config.sample_size.max(1) * 64 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            samples.push(dt.as_secs_f64());
+            measured += dt;
+            iters += 1;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        *self.result = Some(Summary {
+            mean,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    config: MeasureConfig,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut result = None;
+    let mut b = Bencher {
+        config,
+        result: &mut result,
+    };
+    f(&mut b);
+    match result {
+        Some(s) => println!(
+            "bench {full:<40} mean {:>12}  (min {}, max {}, {} iters)",
+            fmt_time(s.mean),
+            fmt_time(s.min),
+            fmt_time(s.max),
+            s.iters,
+        ),
+        None => println!("bench {full:<40} (no measurement recorded)"),
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    config: MeasureConfig,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.to_string(), self.config, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.to_string(), self.config, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: MeasureConfig,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            name: name.into(),
+            config,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(None, &id.to_string(), self.config, &mut f);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

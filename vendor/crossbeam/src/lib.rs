@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! verlette only uses `crossbeam::thread::scope` + `Scope::spawn`. Since
+//! Rust 1.63 the standard library has structured scoped threads, so this
+//! vendored crate adapts `std::thread::scope` to crossbeam's calling
+//! convention (spawn closures take a `&Scope` argument; `scope` returns a
+//! `Result` that is `Err` if any spawned thread panicked).
+
+/// Scoped threads in crossbeam's API shape.
+pub mod thread {
+    /// Handle passed to spawn closures (crossbeam passes the scope back in).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope, so nested
+        /// spawns work exactly as under crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner: &'scope std::thread::Scope<'scope, 'env> = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload of the first panicked thread
+    /// (crossbeam returns all payloads; one is enough for `.expect`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects_results() {
+        let mut parts = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *p = (i as u64 + 1) * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(parts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panic_in_worker_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access. verlette only uses serde for
+//! `#[derive(serde::Serialize, serde::Deserialize)]` markers (no
+//! serde_json / bincode backend is linked), so this vendored crate provides
+//! empty marker traits and derive macros that emit empty impls. Swapping the
+//! real serde back in requires only restoring the registry dependency.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! mark {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+mark!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

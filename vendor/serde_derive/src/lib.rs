@@ -1,0 +1,122 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with the bare `proc_macro` API (no syn/quote in
+//! the offline container) just far enough to recover the type name and its
+//! generic parameters, then emits an empty marker impl:
+//!
+//! ```ignore
+//! #[derive(serde::Serialize)]        // on `struct Vec3<R> { .. }`
+//! // expands to: impl<R> ::serde::Serialize for Vec3<R> {}
+//! ```
+//!
+//! Bounds on the generic parameters are kept in the impl generics and
+//! stripped from the type-argument list. Where-clauses and defaulted
+//! parameters are handled; attributes (including `#[serde(...)]`) are
+//! ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = parse_item(input)
+        .unwrap_or_else(|| panic!("serde_derive stub: could not find struct/enum/union name"));
+    let (impl_generics, type_args) = split_generics(&generics);
+    let code = format!("impl{impl_generics} ::serde::{trait_name} for {name}{type_args} {{}}");
+    code.parse().expect("generated impl parses")
+}
+
+/// Returns the item name and the raw tokens of its generic parameter list
+/// (without the outer `<` `>`), e.g. `("Vec3", "R : Real , const N : usize")`.
+fn parse_item(input: TokenStream) -> Option<(String, String)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next()? {
+                    TokenTree::Ident(n) => n.to_string(),
+                    _ => return None,
+                };
+                let mut generics = String::new();
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    iter.next();
+                    let mut depth = 1usize;
+                    for tt in iter.by_ref() {
+                        if let TokenTree::Punct(p) = &tt {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        generics.push_str(&tt.to_string());
+                        generics.push(' ');
+                    }
+                }
+                return Some((name, generics.trim().to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// From raw generic tokens, builds `(impl_generics, type_args)`:
+/// `"R : Real , const N : usize"` → `("<R : Real , const N : usize>", "<R, N>")`.
+fn split_generics(generics: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut args: Vec<String> = Vec::new();
+    for param in split_top_level(generics) {
+        let param = param.trim();
+        if param.is_empty() {
+            continue;
+        }
+        // Strip any bounds/defaults: keep the parameter name only.
+        let head = param.split([':', '=']).next().unwrap_or(param).trim();
+        let name = if let Some(rest) = head.strip_prefix("const ") {
+            rest.trim()
+        } else {
+            head
+        };
+        args.push(name.to_string());
+    }
+    (format!("<{generics}>"), format!("<{}>", args.join(", ")))
+}
+
+/// Splits on commas that are not nested inside `<...>`, `(...)`, or `[...]`.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
