@@ -1,0 +1,141 @@
+//! Shared-memory threading guard: the `Threaded` hot kernels must actually
+//! pay for themselves. On a host with at least 4 hardware threads the
+//! 4-thread EAM deck must spend at most 0.6× the serial pair+neighbor time,
+//! and deterministic mode (fixed 16-chunk reduction order) must cost at most
+//! 10% over fast mode. Hosts with fewer hardware threads measure and report
+//! but skip the ratio assertions (there is nothing to win on one core).
+//!
+//! Results are also written to `BENCH_threads.json` at the workspace root so
+//! runs can be compared across hosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::{TaskKind, Threads};
+use std::time::Duration;
+
+/// 4-thread pair+neigh time must be at most this fraction of serial.
+const SPEEDUP_THRESHOLD: f64 = 0.6;
+
+/// Deterministic mode must cost at most this factor over fast mode.
+const DET_OVERHEAD_THRESHOLD: f64 = 1.10;
+
+/// Steps per timed window.
+const STEPS: u64 = 10;
+
+struct Measurement {
+    /// Seconds of Pair + Neigh work per step.
+    pair_neigh: f64,
+    /// Wall seconds per step.
+    wall: f64,
+}
+
+fn measure(threads: Threads) -> Measurement {
+    let mut deck = md_workloads::build_deck_with(md_workloads::Benchmark::Eam, 1, 3, threads)
+        .expect("deck builds");
+    deck.simulation.run(3).expect("warmup");
+    let report = deck.simulation.run(STEPS).expect("timed window");
+    let ledger = &report.ledger;
+    Measurement {
+        pair_neigh: (ledger.seconds(TaskKind::Pair) + ledger.seconds(TaskKind::Neigh))
+            / STEPS as f64,
+        wall: report.wall_seconds / STEPS as f64,
+    }
+}
+
+fn guard_thread_speedup(c: &mut Criterion) {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial = measure(Threads::serial());
+    let fast4 = measure(Threads::fast(4));
+    let det4 = measure(Threads::deterministic(4));
+    let speedup_ratio = fast4.pair_neigh / serial.pair_neigh.max(1e-12);
+    let det_ratio = det4.pair_neigh / fast4.pair_neigh.max(1e-12);
+    println!(
+        "bench_threads: eam pair+neigh per step — serial {:.1} ms, 4-thread {:.1} ms \
+         (ratio {speedup_ratio:.3}), deterministic {:.1} ms (x{det_ratio:.3} over fast); \
+         host has {host_threads} hardware threads",
+        serial.pair_neigh * 1e3,
+        fast4.pair_neigh * 1e3,
+        det4.pair_neigh * 1e3,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"eam\",\n  \"steps\": {STEPS},\n  \
+         \"host_threads\": {host_threads},\n  \
+         \"serial_pair_neigh_s\": {:.6e},\n  \"fast4_pair_neigh_s\": {:.6e},\n  \
+         \"det4_pair_neigh_s\": {:.6e},\n  \"serial_wall_s\": {:.6e},\n  \
+         \"fast4_wall_s\": {:.6e},\n  \"det4_wall_s\": {:.6e},\n  \
+         \"speedup_ratio\": {speedup_ratio:.4},\n  \"det_overhead_ratio\": {det_ratio:.4},\n  \
+         \"speedup_threshold\": {SPEEDUP_THRESHOLD},\n  \
+         \"det_overhead_threshold\": {DET_OVERHEAD_THRESHOLD},\n  \
+         \"asserted\": {}\n}}\n",
+        serial.pair_neigh,
+        fast4.pair_neigh,
+        det4.pair_neigh,
+        serial.wall,
+        fast4.wall,
+        det4.wall,
+        host_threads >= 4,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threads.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("bench_threads: wrote {out}"),
+        Err(e) => println!("bench_threads: cannot write {out}: {e}"),
+    }
+
+    if host_threads >= 4 {
+        assert!(
+            speedup_ratio <= SPEEDUP_THRESHOLD,
+            "4-thread EAM pair+neigh at {speedup_ratio:.3}x serial (budget {SPEEDUP_THRESHOLD}x)"
+        );
+        assert!(
+            det_ratio <= DET_OVERHEAD_THRESHOLD,
+            "deterministic mode at {det_ratio:.3}x fast mode (budget {DET_OVERHEAD_THRESHOLD}x)"
+        );
+    } else {
+        println!(
+            "bench_threads: skipping ratio assertions \
+             (need >= 4 hardware threads, host has {host_threads})"
+        );
+    }
+
+    // Criterion records per-mode step times so regressions show in reports.
+    let mut group = c.benchmark_group("threads_eam_step");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(400));
+    for (label, threads) in [
+        ("serial", Threads::serial()),
+        ("fast4", Threads::fast(4)),
+        ("det4", Threads::deterministic(4)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut deck =
+                md_workloads::build_deck_with(md_workloads::Benchmark::Eam, 1, 3, threads)
+                    .expect("deck builds");
+            deck.simulation.run(3).expect("warmup");
+            b.iter(|| deck.simulation.run(1).expect("step runs").steps)
+        });
+    }
+    group.finish();
+
+    // The neighbor build threads independently of the pair style: time one
+    // forced rebuild per mode via wall clock on the LJ deck.
+    let mut group = c.benchmark_group("threads_lj_step");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    for (label, threads) in [("serial", Threads::serial()), ("fast4", Threads::fast(4))] {
+        group.bench_function(label, |b| {
+            let mut deck =
+                md_workloads::build_deck_with(md_workloads::Benchmark::Lj, 1, 3, threads)
+                    .expect("deck builds");
+            deck.simulation.run(3).expect("warmup");
+            b.iter(|| deck.simulation.run(1).expect("step runs").steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, guard_thread_speedup);
+criterion_main!(benches);

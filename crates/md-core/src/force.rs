@@ -127,6 +127,11 @@ pub trait PairStyle: Send {
     fn precision(&self) -> PrecisionMode {
         PrecisionMode::Double
     }
+
+    /// Attaches an observability recorder so threaded styles can emit
+    /// per-worker spans (one lane per thread, showing the fork/join shape
+    /// of the pair kernel). Serial styles ignore it.
+    fn set_recorder(&mut self, _recorder: md_observe::Recorder) {}
 }
 
 /// A two-body bonded potential (LAMMPS `bond_style`).
@@ -201,6 +206,10 @@ pub trait KspaceStyle: Send {
     /// kernel-phase sub-spans (charge assignment, FFTs, interpolation)
     /// under the `Kspace` task. Solvers without internal phases ignore it.
     fn set_recorder(&mut self, _recorder: md_observe::Recorder) {}
+
+    /// Sets the shared-memory thread-team configuration (see
+    /// [`crate::Threads`]). Solvers without threaded kernels ignore it.
+    fn set_threads(&mut self, _threads: crate::Threads) {}
 }
 
 #[cfg(test)]

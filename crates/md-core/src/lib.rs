@@ -44,6 +44,7 @@ pub mod simbox;
 pub mod simulation;
 pub mod task;
 pub mod thermostat;
+pub mod threads;
 pub mod units;
 pub mod vec3;
 pub mod velocity;
@@ -62,6 +63,7 @@ pub use simbox::SimBox;
 pub use simulation::{Simulation, SimulationBuilder, StepReport};
 pub use task::{TaskKind, TaskLedger};
 pub use thermostat::Langevin;
+pub use threads::Threads;
 pub use units::UnitSystem;
 pub use vec3::Vec3;
 pub use velocity::{BerendsenThermostat, TempRescale};

@@ -7,6 +7,16 @@
 //! reused, the default) or *full* (each pair appears from both sides — what
 //! the granular Chute style requires, as the paper notes it does not exploit
 //! Newton's third law).
+//!
+//! The build is shared-memory parallel when [`NeighborList::set_threads`]
+//! asks for more than one thread: binning stays serial (it defines the
+//! within-cell LIFO walk order), the per-atom candidate search fans out over
+//! contiguous atom stripes, and the per-stripe results are concatenated in
+//! stripe order. Because the search is pure integer/comparison work and each
+//! atom's neighbor row depends only on the (serial) bin structure, the
+//! threaded build is **bitwise identical** to the serial one at any thread
+//! count — no `deterministic` toggle is needed here, unlike the
+//! floating-point reductions in `md-potentials::threaded` and `md-kspace`.
 
 use crate::error::Result;
 use crate::simbox::SimBox;
@@ -53,6 +63,7 @@ pub struct NeighborList {
     neigh: Vec<u32>,
     x_at_build: Vec<V3>,
     stats: NeighborBuildStats,
+    threads: usize,
 }
 
 impl NeighborList {
@@ -73,6 +84,7 @@ impl NeighborList {
             neigh: Vec::new(),
             x_at_build: Vec::new(),
             stats: NeighborBuildStats::default(),
+            threads: 1,
         }
     }
 
@@ -117,7 +129,19 @@ impl NeighborList {
             neigh,
             x_at_build: Vec::new(),
             stats,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for subsequent builds (1 = serial).
+    /// The threaded build produces bitwise-identical lists at any count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads used for builds.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Interaction cutoff.
@@ -186,7 +210,7 @@ impl NeighborList {
         &mut self,
         x: &[V3],
         bx: &SimBox,
-        exclusions: impl Fn(usize) -> &'a [u32],
+        exclusions: impl Fn(usize) -> &'a [u32] + Sync,
     ) -> Result<bool> {
         if self.needs_rebuild(x, bx) {
             self.build_with(x, bx, exclusions)?;
@@ -218,7 +242,7 @@ impl NeighborList {
         &mut self,
         x: &[V3],
         bx: &SimBox,
-        exclusions: impl Fn(usize) -> &'a [u32],
+        exclusions: impl Fn(usize) -> &'a [u32] + Sync,
     ) -> Result<()> {
         let range = self.cutoff + self.skin;
         bx.check_interaction_range(range)?;
@@ -262,9 +286,16 @@ impl NeighborList {
         // With fewer than 3 cells on a periodic axis, distinct (dx,dy,dz)
         // offsets alias to the same cell and candidates repeat; dedupe then.
         let needs_dedup = (0..3).any(|d| ncell[d] < 3 && bx.is_periodic(d));
-        let mut scratch: Vec<u32> = Vec::with_capacity(128);
-        for i in 0..n {
-            scratch.clear();
+
+        // The per-atom candidate search, shared by the serial and threaded
+        // paths. Appends atom `i`'s neighbor row to `scratch` (in the bin
+        // walk order set by the serial binning above) and returns how many
+        // of the row's pairs fall within the bare cutoff.
+        let head = &head;
+        let next = &next;
+        let exclusions = &exclusions;
+        let search = move |i: usize, scratch: &mut Vec<u32>| -> usize {
+            let mut wc = 0usize;
             let xi = x[i];
             let f = bx.fractional(xi);
             let mut ci = [0usize; 3];
@@ -272,6 +303,7 @@ impl NeighborList {
                 let fd = f[d].clamp(0.0, 1.0 - 1e-12);
                 ci[d] = ((fd * ncell[d] as f64) as usize).min(ncell[d] - 1);
             }
+            let row_start = scratch.len();
             let excl = exclusions(i);
             for dz in -1i64..=1 {
                 for dy in -1i64..=1 {
@@ -302,11 +334,11 @@ impl NeighborList {
                                 let r2 = d.norm2();
                                 if r2 < range2
                                     && (excl.is_empty() || excl.binary_search(&j).is_err())
-                                    && (!needs_dedup || !scratch.contains(&j))
+                                    && (!needs_dedup || !scratch[row_start..].contains(&j))
                                 {
                                     scratch.push(j);
                                     if r2 < cut2 {
-                                        within_cut += 1;
+                                        wc += 1;
                                     }
                                 }
                             }
@@ -315,8 +347,55 @@ impl NeighborList {
                     }
                 }
             }
-            self.neigh.extend_from_slice(&scratch);
-            self.offsets.push(self.neigh.len());
+            wc
+        };
+
+        let t = self.threads.min(n.max(1));
+        if t > 1 {
+            // Stripe the atom range across threads; each worker fills a
+            // private (row lengths, neighbors) pair. Concatenating in stripe
+            // order reproduces the serial layout exactly, so the stripe
+            // width never affects the result.
+            let stripe = n.div_ceil(t);
+            let parts = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..t)
+                    .map(|k| {
+                        let lo = k * stripe;
+                        let hi = ((k + 1) * stripe).min(n);
+                        let search = &search;
+                        s.spawn(move |_| {
+                            let mut lens = Vec::with_capacity(hi - lo);
+                            let mut neigh: Vec<u32> = Vec::new();
+                            let mut wc = 0usize;
+                            for i in lo..hi {
+                                let row_start = neigh.len();
+                                wc += search(i, &mut neigh);
+                                lens.push(neigh.len() - row_start);
+                            }
+                            (lens, neigh, wc)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("neighbor build worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("neighbor build scope panicked");
+            for (lens, neigh, wc) in parts {
+                within_cut += wc;
+                let mut off = *self.offsets.last().expect("offsets nonempty");
+                for l in lens {
+                    off += l;
+                    self.offsets.push(off);
+                }
+                self.neigh.extend_from_slice(&neigh);
+            }
+        } else {
+            for i in 0..n {
+                within_cut += search(i, &mut self.neigh);
+                self.offsets.push(self.neigh.len());
+            }
         }
 
         self.x_at_build.clear();
@@ -475,6 +554,44 @@ mod tests {
             s.neighbors_per_atom,
             expect
         );
+    }
+
+    #[test]
+    fn threaded_build_is_bitwise_identical_to_serial() {
+        let bx = SimBox::cubic(10.0);
+        let x = random_positions(400, 10.0, 99);
+        let excl: Vec<Vec<u32>> = (0..400u32)
+            .map(|i| {
+                if i % 7 == 0 {
+                    vec![(i + 1) % 400]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+        let mut serial = NeighborList::new(2.0, 0.4, NeighborListKind::Half);
+        serial.build_with(&x, &bx, |i| excl[i].as_slice()).unwrap();
+        for t in [2, 3, 4, 7] {
+            let mut nl = NeighborList::new(2.0, 0.4, NeighborListKind::Half);
+            nl.set_threads(t);
+            nl.build_with(&x, &bx, |i| excl[i].as_slice()).unwrap();
+            assert_eq!(nl.offsets, serial.offsets, "{t} threads: offsets");
+            assert_eq!(nl.neigh, serial.neigh, "{t} threads: neighbor order");
+            assert_eq!(
+                nl.stats().pairs_within_cutoff,
+                serial.stats().pairs_within_cutoff,
+                "{t} threads: within-cutoff count"
+            );
+        }
+        // More threads than atoms degrades gracefully.
+        let tiny = random_positions(3, 10.0, 5);
+        let mut nl = NeighborList::new(2.0, 0.4, NeighborListKind::Half);
+        nl.set_threads(8);
+        nl.build(&tiny, &bx).unwrap();
+        let mut s = NeighborList::new(2.0, 0.4, NeighborListKind::Half);
+        s.build(&tiny, &bx).unwrap();
+        assert_eq!(nl.offsets, s.offsets);
+        assert_eq!(nl.neigh, s.neigh);
     }
 
     #[test]

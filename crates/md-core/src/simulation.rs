@@ -24,6 +24,7 @@ use crate::integrate::{IntegrateContext, Integrator, VelocityVerlet};
 use crate::neighbor::NeighborList;
 use crate::simbox::SimBox;
 use crate::task::{TaskKind, TaskLedger};
+use crate::threads::Threads;
 use crate::units::UnitSystem;
 use crate::vec3::Vec3;
 use crate::V3;
@@ -75,6 +76,7 @@ pub struct Simulation {
     energy: EnergyVirial,
     thermo_log: Vec<ThermoState>,
     recorder: Recorder,
+    threads: Threads,
     /// Step index of the most recent neighbor rebuild (for the
     /// rebuild-interval histogram).
     last_rebuild_step: u64,
@@ -161,11 +163,19 @@ impl Simulation {
         &self.recorder
     }
 
+    /// The shared-memory thread-team configuration.
+    pub fn threads(&self) -> Threads {
+        self.threads
+    }
+
     /// Attaches an observability recorder after construction. The handle is
-    /// shared with the k-space solver (if any), which emits kernel-phase
-    /// sub-spans on the same timeline.
+    /// shared with the pair style and the k-space solver (if any), which
+    /// emit kernel-phase and per-thread sub-spans on the same timeline.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         recorder.set_lane_name(ENGINE_LANE, "engine");
+        if let Some(p) = self.pair.as_mut() {
+            p.set_recorder(recorder.clone());
+        }
         if let Some(ks) = self.kspace.as_mut() {
             ks.set_recorder(recorder.clone());
         }
@@ -466,13 +476,8 @@ impl Simulation {
             self.step()?;
         }
         let wall = t0.elapsed().as_secs_f64();
-        let mut ledger = self.ledger.clone();
-        // Report only this run's share.
-        let mut delta = TaskLedger::new();
-        for (task, seconds) in ledger.iter() {
-            delta.add(task, seconds - ledger_before.seconds(task));
-        }
-        ledger = delta;
+        // Report only this run's share (both seconds and phase counts).
+        let ledger = self.ledger.delta_since(&ledger_before);
         Ok(StepReport {
             steps: nsteps,
             wall_seconds: wall,
@@ -505,6 +510,7 @@ pub struct SimulationBuilder {
     shake: Option<Shake>,
     thermo_every: u64,
     recorder: Option<Recorder>,
+    threads: Threads,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -536,6 +542,7 @@ impl SimulationBuilder {
             shake: None,
             thermo_every: 0,
             recorder: None,
+            threads: Threads::serial(),
         }
     }
 
@@ -612,6 +619,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the shared-memory thread-team configuration (defaults to
+    /// serial). Applied to the neighbor-list build and the k-space solver;
+    /// pair styles thread through the `Threaded` wrapper in
+    /// `md-potentials`, which the workload decks construct to match.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the configuration, builds the initial neighbor list, runs
     /// the k-space setup, and evaluates initial forces.
     ///
@@ -635,11 +651,16 @@ impl SimulationBuilder {
             });
         }
         let neighbor = match &self.pair {
-            Some(p) => Some(NeighborList::new(p.cutoff(), self.skin, p.list_kind())),
+            Some(p) => {
+                let mut nl = NeighborList::new(p.cutoff(), self.skin, p.list_kind());
+                nl.set_threads(self.threads.count);
+                Some(nl)
+            }
             None => None,
         };
         let mut kspace = self.kspace;
         if let Some(ks) = kspace.as_mut() {
+            ks.set_threads(self.threads);
             ks.setup(&self.bx, self.atoms.charges())?;
         }
         let mut sim = Simulation {
@@ -665,6 +686,7 @@ impl SimulationBuilder {
             energy: EnergyVirial::default(),
             thermo_log: Vec::new(),
             recorder: Recorder::disabled(),
+            threads: self.threads,
             last_rebuild_step: 0,
             energy_first: None,
             last_drift: 0.0,

@@ -84,6 +84,12 @@ impl std::fmt::Display for TaskKind {
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TaskLedger {
     seconds: [f64; 8],
+    /// Number of timed phases attributed to each task. Unlike `seconds`
+    /// (wall clock, noisy), the counts are exact integers: the
+    /// thread-invariance suite asserts they are identical across thread
+    /// counts, proving the threaded kernels execute the same step structure.
+    #[serde(default)]
+    counts: [u64; 8],
 }
 
 impl TaskLedger {
@@ -92,15 +98,27 @@ impl TaskLedger {
         TaskLedger::default()
     }
 
-    /// Adds `seconds` to `task`.
+    /// Adds `seconds` to `task` and counts the phase.
     #[inline]
     pub fn add(&mut self, task: TaskKind, seconds: f64) {
         self.seconds[task.index()] += seconds;
+        self.counts[task.index()] += 1;
     }
 
     /// Time accumulated for `task`.
     pub fn seconds(&self, task: TaskKind) -> f64 {
         self.seconds[task.index()]
+    }
+
+    /// Number of timed phases attributed to `task`.
+    pub fn count(&self, task: TaskKind) -> u64 {
+        self.counts[task.index()]
+    }
+
+    /// Per-task phase counts in [`TaskKind::ALL`] order (the deterministic
+    /// step-structure fingerprint used by `tests/thread_invariance.rs`).
+    pub fn step_counts(&self) -> [u64; 8] {
+        self.counts
     }
 
     /// Total time across all tasks.
@@ -131,10 +149,23 @@ impl TaskLedger {
         out
     }
 
+    /// The componentwise difference `self - before` (seconds and counts),
+    /// for reporting only one run's share of a cumulative ledger.
+    /// Saturates at zero; `before` is expected to be a prior snapshot.
+    pub fn delta_since(&self, before: &TaskLedger) -> TaskLedger {
+        let mut out = TaskLedger::new();
+        for i in 0..8 {
+            out.seconds[i] = (self.seconds[i] - before.seconds[i]).max(0.0);
+            out.counts[i] = self.counts[i].saturating_sub(before.counts[i]);
+        }
+        out
+    }
+
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &TaskLedger) {
         for i in 0..8 {
             self.seconds[i] += other.seconds[i];
+            self.counts[i] += other.counts[i];
         }
     }
 
@@ -149,6 +180,7 @@ impl TaskLedger {
         for l in ledgers {
             for i in 0..8 {
                 out.seconds[i] = out.seconds[i].max(l.seconds[i]);
+                out.counts[i] = out.counts[i].max(l.counts[i]);
             }
         }
         out
@@ -157,6 +189,7 @@ impl TaskLedger {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.seconds = [0.0; 8];
+        self.counts = [0; 8];
     }
 
     /// `(task, seconds)` pairs in legend order.
@@ -205,6 +238,23 @@ mod tests {
         });
         assert_eq!(out, 49_995_000);
         assert!(l.seconds(TaskKind::Other) > 0.0);
+    }
+
+    #[test]
+    fn counts_track_phases_exactly() {
+        let mut l = TaskLedger::new();
+        l.add(TaskKind::Pair, 0.5);
+        l.add(TaskKind::Pair, 0.0); // zero-duration phases still count
+        l.add(TaskKind::Neigh, 0.1);
+        assert_eq!(l.count(TaskKind::Pair), 2);
+        assert_eq!(l.count(TaskKind::Neigh), 1);
+        assert_eq!(l.count(TaskKind::Bond), 0);
+        let mut other = TaskLedger::new();
+        other.add(TaskKind::Pair, 1.0);
+        l.merge(&other);
+        assert_eq!(l.count(TaskKind::Pair), 3);
+        l.reset();
+        assert_eq!(l.step_counts(), [0; 8]);
     }
 
     #[test]

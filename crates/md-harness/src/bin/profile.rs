@@ -5,8 +5,13 @@
 //!
 //! ```text
 //! cargo run --release -p md-harness --bin profile [--steps N]
-//!     [--trace out.json] [--metrics out.jsonl]
+//!     [--threads T] [--deterministic] [--trace out.json] [--metrics out.jsonl]
 //! ```
+//!
+//! `--threads T` runs the hot kernels on `T` shared-memory threads (traced
+//! runs then also get per-thread fork/join lanes); `--deterministic` pins
+//! the parallel reductions to a fixed-chunk order. Defaults come from
+//! `MD_THREADS` / `MD_DETERMINISTIC`.
 //!
 //! With `--trace`, every step is recorded through `md-observe` and the run
 //! ends with a Chrome `trace_event` JSON (open in `chrome://tracing` or
@@ -17,14 +22,15 @@
 //! also be switched on without flags via `MD_OBSERVE=1` (capacities:
 //! `MD_OBSERVE_STEPS`, `MD_OBSERVE_EVENTS`).
 
-use md_core::TaskKind;
+use md_core::{TaskKind, Threads};
 use md_harness::render::{fnum, TextTable};
 use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
 use md_observe::{chrome_trace_json, metrics_jsonl, text_report, ObserveConfig, Recorder};
-use md_workloads::{build_deck, build_positions, Benchmark};
+use md_workloads::{build_deck_with, build_positions, Benchmark};
 
 fn main() {
     let mut steps: u64 = 20;
+    let mut threads = Threads::from_env();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -42,6 +48,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                threads.count = value(&mut args).parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires a number");
+                    std::process::exit(2);
+                });
+                if threads.count == 0 {
+                    eprintln!("--threads requires at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--deterministic" => threads.deterministic = true,
             "--trace" => trace_path = Some(value(&mut args)),
             "--metrics" => metrics_path = Some(value(&mut args)),
             other => {
@@ -64,9 +81,12 @@ fn main() {
     header.extend(TaskKind::ALL.iter().map(|t| format!("{t} %")));
     let mut table = TextTable::new(header);
 
+    if threads.active() {
+        eprintln!("[profile] hot kernels on {threads}");
+    }
     for bench in Benchmark::ALL {
         eprint!("[profile] {bench}: building ... ");
-        let mut deck = match build_deck(bench, 1, 2022) {
+        let mut deck = match build_deck_with(bench, 1, 2022, threads) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("failed: {e}");

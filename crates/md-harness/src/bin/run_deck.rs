@@ -3,12 +3,19 @@
 //!
 //! ```text
 //! run_deck <benchmark> [--steps N] [--scale S] [--thermo N]
+//!          [--threads T] [--deterministic]
 //!          [--dump traj.xyz] [--write-data out.data]
 //! ```
+//!
+//! `--threads T` runs the hot kernels (pair, neighbor build, PPPM) on `T`
+//! shared-memory threads; `--deterministic` switches the parallel
+//! reductions to a fixed-chunk order so any thread count reproduces the
+//! serial trajectory bitwise. Defaults come from `MD_THREADS` /
+//! `MD_DETERMINISTIC`.
 
-use md_core::TaskKind;
+use md_core::{TaskKind, Threads};
 use md_workloads::io::{write_data, AtomStyle, XyzDump};
-use md_workloads::{build_deck, Benchmark};
+use md_workloads::{build_deck_with, Benchmark};
 use std::path::PathBuf;
 
 struct Args {
@@ -16,6 +23,7 @@ struct Args {
     steps: u64,
     scale: usize,
     thermo: u64,
+    threads: Threads,
     dump: Option<PathBuf>,
     write_data_path: Option<PathBuf>,
 }
@@ -24,7 +32,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let bench_name = args.next().ok_or_else(|| {
         "usage: run_deck <lj|chain|eam|chute|rhodo> [--steps N] [--scale S] \
-         [--thermo N] [--dump FILE] [--write-data FILE]"
+         [--thermo N] [--threads T] [--deterministic] [--dump FILE] \
+         [--write-data FILE]"
             .to_string()
     })?;
     let benchmark = Benchmark::parse(&bench_name).map_err(|e| e.to_string())?;
@@ -33,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         steps: 100,
         scale: 1,
         thermo: 20,
+        threads: Threads::from_env(),
         dump: None,
         write_data_path: None,
     };
@@ -45,6 +55,13 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => out.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,
             "--scale" => out.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
             "--thermo" => out.thermo = value("--thermo")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                out.threads.count = value("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                if out.threads.count == 0 {
+                    return Err("--threads requires at least 1".to_string());
+                }
+            }
+            "--deterministic" => out.threads.deterministic = true,
             "--dump" => out.dump = Some(PathBuf::from(value("--dump")?)),
             "--write-data" => out.write_data_path = Some(PathBuf::from(value("--write-data")?)),
             other => return Err(format!("unknown flag {other}")),
@@ -61,7 +78,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut deck = match build_deck(args.benchmark, args.scale, 2022) {
+    let mut deck = match build_deck_with(args.benchmark, args.scale, 2022, args.threads) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("deck construction failed: {e}");
@@ -69,11 +86,12 @@ fn main() {
         }
     };
     println!(
-        "running {} at scale {} ({} atoms), {} steps",
+        "running {} at scale {} ({} atoms), {} steps, {}",
         args.benchmark,
         args.scale,
         deck.simulation.atoms().len(),
-        args.steps
+        args.steps,
+        args.threads
     );
     let mut dump = args.dump.as_deref().map(|p| {
         XyzDump::create(p).unwrap_or_else(|e| {

@@ -97,11 +97,17 @@ pub fn dft_reference(data: &[Complex], dir: Direction) -> Vec<Complex> {
 }
 
 /// A 3D FFT over an `nx × ny × nz` mesh stored row-major (`x` fastest).
+///
+/// The transform can batch its 1D lines across threads (see
+/// [`Fft3d::set_threads`]). Every line is an independent 1D FFT over the
+/// same input values no matter which thread runs it, so the threaded
+/// transform is bitwise identical to the serial one at any thread count.
 #[derive(Debug, Clone)]
 pub struct Fft3d {
     nx: usize,
     ny: usize,
     nz: usize,
+    threads: usize,
     scratch: Vec<Complex>,
 }
 
@@ -124,8 +130,21 @@ impl Fft3d {
             nx,
             ny,
             nz,
+            threads: 1,
             scratch: vec![Complex::ZERO; nx.max(ny).max(nz)],
         })
+    }
+
+    /// Sets how many threads [`Fft3d::transform`] batches its 1D lines over
+    /// (clamped to at least 1). The result is bitwise independent of the
+    /// thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Thread count used by [`Fft3d::transform`].
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Mesh dimensions `(nx, ny, nz)`.
@@ -163,6 +182,9 @@ impl Fft3d {
             });
         }
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        if self.threads > 1 {
+            return self.transform_threaded(data, dir);
+        }
         // X lines are contiguous.
         for iz in 0..nz {
             for iy in 0..ny {
@@ -191,6 +213,83 @@ impl Fft3d {
                 fft1d(&mut self.scratch[..nz], dir)?;
                 for iz in 0..nz {
                     data[self.index(ix, iy, iz)] = self.scratch[iz];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Threaded transform body. The x and y passes are plane-local, so each
+    /// thread owns a contiguous slab of z planes; the z pass stripes the
+    /// `nx·ny` lines across threads, each gathering and transforming its
+    /// lines into a private buffer before a serial scatter.
+    ///
+    /// The mesh dimensions are powers of two by construction and `data` has
+    /// been length-checked, so the inner `fft1d` calls cannot fail.
+    fn transform_threaded(&self, data: &mut [Complex], dir: Direction) -> Result<()> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let plane = nx * ny;
+        // X and Y passes: slab-parallel over z planes, private y scratch.
+        let planes_per = nz.div_ceil(self.threads.min(nz));
+        crossbeam::thread::scope(|s| {
+            for slab in data.chunks_mut(plane * planes_per) {
+                s.spawn(move |_| {
+                    let mut scratch = vec![Complex::ZERO; ny];
+                    for zplane in slab.chunks_mut(plane) {
+                        for iy in 0..ny {
+                            let base = iy * nx;
+                            fft1d(&mut zplane[base..base + nx], dir)
+                                .expect("x line is a power of two");
+                        }
+                        for ix in 0..nx {
+                            for iy in 0..ny {
+                                scratch[iy] = zplane[iy * nx + ix];
+                            }
+                            fft1d(&mut scratch[..ny], dir).expect("y line is a power of two");
+                            for iy in 0..ny {
+                                zplane[iy * nx + ix] = scratch[iy];
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("fft worker panicked");
+        // Z pass: line l = iy·nx + ix sits at data[iz·plane + l]. Stripe the
+        // lines; each thread transforms its stripe into a private buffer.
+        let lines_per = plane.div_ceil(self.threads.min(plane));
+        let stripes: Vec<(usize, usize)> = (0..plane)
+            .step_by(lines_per)
+            .map(|lo| (lo, (lo + lines_per).min(plane)))
+            .collect();
+        let results: Vec<Vec<Complex>> = crossbeam::thread::scope(|s| {
+            let data = &*data;
+            let handles: Vec<_> = stripes
+                .iter()
+                .map(|&(lo, hi)| {
+                    s.spawn(move |_| {
+                        let mut buf = vec![Complex::ZERO; (hi - lo) * nz];
+                        for li in 0..hi - lo {
+                            let line = &mut buf[li * nz..(li + 1) * nz];
+                            for (iz, v) in line.iter_mut().enumerate() {
+                                *v = data[iz * plane + lo + li];
+                            }
+                            fft1d(line, dir).expect("z line is a power of two");
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fft worker panicked"))
+                .collect()
+        })
+        .expect("fft worker panicked");
+        for (&(lo, hi), buf) in stripes.iter().zip(&results) {
+            for li in 0..hi - lo {
+                for iz in 0..nz {
+                    data[iz * plane + lo + li] = buf[li * nz + iz];
                 }
             }
         }
@@ -295,6 +394,26 @@ mod tests {
             if i != peak {
                 assert!(z.norm() < 1e-9, "leakage at {i}");
             }
+        }
+    }
+
+    #[test]
+    fn threaded_transform_is_bitwise_identical_to_serial() {
+        for (nx, ny, nz) in [(8usize, 4usize, 16usize), (4, 4, 4), (2, 2, 2)] {
+            let mut fft = Fft3d::new(nx, ny, nz).unwrap();
+            let input = random_signal(fft.len(), (nx * ny * nz) as u64);
+            let mut serial = input.clone();
+            fft.transform(&mut serial, Direction::Forward).unwrap();
+            for t in [2usize, 3, 5, 8] {
+                fft.set_threads(t);
+                let mut threaded = input.clone();
+                fft.transform(&mut threaded, Direction::Forward).unwrap();
+                for (a, b) in serial.iter().zip(&threaded) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "t = {t}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "t = {t}");
+                }
+            }
+            fft.set_threads(1);
         }
     }
 

@@ -14,12 +14,16 @@ use crate::accuracy::KspaceAccuracy;
 use crate::complex::Complex;
 use crate::fft::{Direction, Fft3d};
 use md_core::force::KspaceStats;
-use md_core::{CoreError, EnergyVirial, KspaceStyle, Result, SimBox, Vec3, V3};
+use md_core::{CoreError, EnergyVirial, KspaceStyle, Result, SimBox, Threads, Vec3, V3};
 use md_observe::Recorder;
 
 /// Trace lane the solver reports on (shares the engine's lane so the
 /// sub-spans nest under the driver's `Kspace` span).
 const KSPACE_LANE: u32 = 0;
+
+/// First trace lane used for per-thread spans (matches the convention the
+/// threaded pair kernels use, so fork/join shapes line up across crates).
+const THREAD_LANE_BASE: u32 = 64;
 
 /// Maximum supported assignment order (matches [`crate::accuracy::MAX_ORDER`]).
 const MAX_ORDER: usize = 5;
@@ -46,6 +50,12 @@ pub struct Pppm {
     rho: Vec<Complex>,
     field: [Vec<Complex>; 3],
     recorder: Recorder,
+    /// Shared-memory threading knob. Every parallel section here (charge
+    /// spread, FFT line batches, k-space field, interpolation) decomposes by
+    /// mesh slab or atom stripe with a fixed reduction order, so the result
+    /// is bitwise identical to serial at ANY thread count — the
+    /// `deterministic` flag changes nothing for this solver.
+    threads: Threads,
 }
 
 impl Pppm {
@@ -81,6 +91,7 @@ impl Pppm {
             rho: Vec::new(),
             field: [Vec::new(), Vec::new(), Vec::new()],
             recorder: Recorder::disabled(),
+            threads: Threads::serial(),
         }
     }
 
@@ -98,21 +109,21 @@ impl Pppm {
     pub fn grid(&self) -> [usize; 3] {
         self.grid
     }
+}
 
-    /// Evaluates the `order` B-spline weights of a particle at fractional
-    /// mesh coordinate `u` (in units of mesh cells). Returns the leftmost
-    /// mesh index and the weights.
-    fn bspline_weights(&self, u: f64) -> (i64, [f64; MAX_ORDER]) {
-        let n = self.order;
-        let k0 = u.floor() as i64;
-        let mut w = [0.0f64; MAX_ORDER];
-        // Mesh points p = k0 - n + 1 + j for j in 0..n; weight M_n(u - p).
-        for (j, wj) in w.iter_mut().enumerate().take(n) {
-            let p = k0 - n as i64 + 1 + j as i64;
-            *wj = bspline(n, u - p as f64);
-        }
-        (k0 - n as i64 + 1, w)
+/// Evaluates the `n` B-spline weights of a particle at fractional mesh
+/// coordinate `u` (in units of mesh cells). Returns the leftmost mesh index
+/// and the weights. A free function so worker closures can call it without
+/// capturing the solver.
+fn bspline_row(n: usize, u: f64) -> (i64, [f64; MAX_ORDER]) {
+    let k0 = u.floor() as i64;
+    let mut w = [0.0f64; MAX_ORDER];
+    // Mesh points p = k0 - n + 1 + j for j in 0..n; weight M_n(u - p).
+    for (j, wj) in w.iter_mut().enumerate().take(n) {
+        let p = k0 - n as i64 + 1 + j as i64;
+        *wj = bspline(n, u - p as f64);
     }
+    (k0 - n as i64 + 1, w)
 }
 
 /// Cardinal B-spline `M_n(x)` with support `(0, n)`.
@@ -178,7 +189,8 @@ impl KspaceStyle for Pppm {
         self.qsqsum = qsqsum;
         self.qsum = q.iter().sum();
         let (nx, ny, nz) = (self.grid[0], self.grid[1], self.grid[2]);
-        let fft = Fft3d::new(nx, ny, nz)?;
+        let mut fft = Fft3d::new(nx, ny, nz)?;
+        fft.set_threads(self.threads.count);
         let len = fft.len();
 
         // Precompute Green's function and wavevectors.
@@ -239,6 +251,13 @@ impl KspaceStyle for Pppm {
         self.recorder = recorder;
     }
 
+    fn set_threads(&mut self, threads: Threads) {
+        self.threads = threads;
+        if let Some(fft) = self.fft.as_mut() {
+            fft.set_threads(threads.count);
+        }
+    }
+
     fn compute(&mut self, bx: &SimBox, x: &[V3], q: &[f64], f: &mut [V3]) -> EnergyVirial {
         let Some(fft) = self.fft.clone() else {
             return EnergyVirial::default();
@@ -253,36 +272,88 @@ impl KspaceStyle for Pppm {
         let rec = self.recorder.clone();
 
         // 1. Charge assignment ("make_rho" + "particle_map").
+        //
+        // Threaded by OWNED Z-SLAB: every worker walks all atoms but only
+        // scatters into the contiguous range of z planes it owns. Each mesh
+        // point therefore accumulates its contributions in atom order — the
+        // exact order the serial loop uses — so the mesh is bitwise
+        // identical to serial at any thread count.
         let span = rec.span(KSPACE_LANE, "kspace", "charge_assign");
-        for z in &mut self.rho {
-            *z = Complex::ZERO;
-        }
         let order = self.order;
-        let mut bases: Vec<[i64; 3]> = Vec::with_capacity(n_atoms);
-        let mut weights: Vec<[[f64; MAX_ORDER]; 3]> = Vec::with_capacity(n_atoms);
-        for i in 0..n_atoms {
-            let mut base = [0i64; 3];
-            let mut w3 = [[0.0; MAX_ORDER]; 3];
-            for d in 0..3 {
-                let frac = ((x[i][d] - lo[d]) / l[d]).rem_euclid(1.0);
-                let u = frac * self.grid[d] as f64;
-                let (b, w) = self.bspline_weights(u);
-                base[d] = b;
-                w3[d] = w;
+        let grid = self.grid;
+        let plane = nx * ny;
+        let t_req = self.threads.count.max(1);
+        let mut bases: Vec<[i64; 3]> = vec![[0i64; 3]; n_atoms];
+        let mut weights: Vec<[[f64; MAX_ORDER]; 3]> = vec![[[0.0; MAX_ORDER]; 3]; n_atoms];
+        // B-spline bases/weights are per-atom elementwise: stripe-parallel.
+        let eval = |lo_i: usize, bs: &mut [[i64; 3]], ws: &mut [[[f64; MAX_ORDER]; 3]]| {
+            for (di, (b3, w3)) in bs.iter_mut().zip(ws.iter_mut()).enumerate() {
+                let xi = x[lo_i + di];
+                for d in 0..3 {
+                    let frac = ((xi[d] - lo[d]) / l[d]).rem_euclid(1.0);
+                    let (b, w) = bspline_row(order, frac * grid[d] as f64);
+                    b3[d] = b;
+                    w3[d] = w;
+                }
             }
-            bases.push(base);
-            weights.push(w3);
-            for jz in 0..order {
-                let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
-                for jy in 0..order {
-                    let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
-                    let wzy = weights[i][2][jz] * weights[i][1][jy] * q[i];
-                    for jx in 0..order {
-                        let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
-                        self.rho[fft.index(gx, gy, gz)].re += wzy * weights[i][0][jx];
+        };
+        let t = t_req.min(n_atoms.max(1));
+        if t > 1 {
+            let stripe = n_atoms.div_ceil(t);
+            crossbeam::thread::scope(|s| {
+                for (k, (bs, ws)) in bases
+                    .chunks_mut(stripe)
+                    .zip(weights.chunks_mut(stripe))
+                    .enumerate()
+                {
+                    let eval = &eval;
+                    s.spawn(move |_| eval(k * stripe, bs, ws));
+                }
+            })
+            .expect("pppm worker panicked");
+        } else {
+            eval(0, &mut bases, &mut weights);
+        }
+        let spread = |z_lo: usize, z_hi: usize, slab: &mut [Complex]| {
+            for z in slab.iter_mut() {
+                *z = Complex::ZERO;
+            }
+            for i in 0..n_atoms {
+                let base = bases[i];
+                let w3 = &weights[i];
+                for jz in 0..order {
+                    let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
+                    if gz < z_lo || gz >= z_hi {
+                        continue;
+                    }
+                    for jy in 0..order {
+                        let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
+                        let wzy = w3[2][jz] * w3[1][jy] * q[i];
+                        for jx in 0..order {
+                            let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
+                            slab[(gz - z_lo) * plane + gy * nx + gx].re += wzy * w3[0][jx];
+                        }
                     }
                 }
             }
+        };
+        let t = t_req.min(nz);
+        if t > 1 {
+            let planes_per = nz.div_ceil(t);
+            crossbeam::thread::scope(|s| {
+                for (k, slab) in self.rho.chunks_mut(plane * planes_per).enumerate() {
+                    let spread = &spread;
+                    let rec = &rec;
+                    s.spawn(move |_| {
+                        let _guard = rec.span(THREAD_LANE_BASE + k as u32, "thread", "pppm_spread");
+                        let z_lo = k * planes_per;
+                        spread(z_lo, (z_lo + planes_per).min(nz), slab);
+                    });
+                }
+            })
+            .expect("pppm worker panicked");
+        } else {
+            spread(0, nz, &mut self.rho);
         }
 
         drop(span);
@@ -294,26 +365,66 @@ impl KspaceStyle for Pppm {
         drop(span);
 
         // 3. Energy and field meshes in k-space.
+        //
+        // The field writes are elementwise; the energy reduction is kept
+        // thread-count invariant by always accumulating one partial per z
+        // plane (in-plane flat order) and summing the partials in ascending
+        // plane order, whether one thread runs all planes or many run slabs.
         let span = rec.span(KSPACE_LANE, "kspace", "kspace_field");
-        let mut energy = 0.0;
         let len = fft.len();
-        for idx in 0..len {
-            let g = self.green[idx];
-            if g == 0.0 {
-                self.field[0][idx] = Complex::ZERO;
-                self.field[1][idx] = Complex::ZERO;
-                self.field[2][idx] = Complex::ZERO;
-                continue;
+        let green = &self.green;
+        let kvec = &self.kvec;
+        let rho = &self.rho;
+        let mut energy_parts = vec![0.0f64; nz];
+        let field_pass = |z_lo: usize,
+                          f0: &mut [Complex],
+                          f1: &mut [Complex],
+                          f2: &mut [Complex],
+                          eparts: &mut [f64]| {
+            for (p, ep) in eparts.iter_mut().enumerate() {
+                for j in 0..plane {
+                    let idx = (z_lo + p) * plane + j;
+                    let li = p * plane + j;
+                    let g = green[idx];
+                    if g == 0.0 {
+                        f0[li] = Complex::ZERO;
+                        f1[li] = Complex::ZERO;
+                        f2[li] = Complex::ZERO;
+                        continue;
+                    }
+                    let r = rho[idx];
+                    *ep += g * r.norm2();
+                    // F̂_d = -i k_d A B ρ̂.
+                    let minus_i_rho = Complex::new(r.im, -r.re); // -i * rho
+                    let k = kvec[idx];
+                    f0[li] = minus_i_rho.scale(g * k.x);
+                    f1[li] = minus_i_rho.scale(g * k.y);
+                    f2[li] = minus_i_rho.scale(g * k.z);
+                }
             }
-            let r = self.rho[idx];
-            energy += g * r.norm2();
-            // F̂_d = -i k_d A B ρ̂.
-            let minus_i_rho = Complex::new(r.im, -r.re); // -i * rho
-            let k = self.kvec[idx];
-            self.field[0][idx] = minus_i_rho.scale(g * k.x);
-            self.field[1][idx] = minus_i_rho.scale(g * k.y);
-            self.field[2][idx] = minus_i_rho.scale(g * k.z);
+        };
+        let [fx, fy, fz] = &mut self.field;
+        let t = t_req.min(nz);
+        if t > 1 {
+            let planes_per = nz.div_ceil(t);
+            let slab = plane * planes_per;
+            crossbeam::thread::scope(|s| {
+                for (k, (((c0, c1), c2), ep)) in fx
+                    .chunks_mut(slab)
+                    .zip(fy.chunks_mut(slab))
+                    .zip(fz.chunks_mut(slab))
+                    .zip(energy_parts.chunks_mut(planes_per))
+                    .enumerate()
+                {
+                    let field_pass = &field_pass;
+                    s.spawn(move |_| field_pass(k * planes_per, c0, c1, c2, ep));
+                }
+            })
+            .expect("pppm worker panicked");
+        } else {
+            field_pass(0, fx, fy, fz, &mut energy_parts);
         }
+        let energy: f64 = energy_parts.iter().sum();
 
         drop(span);
 
@@ -326,29 +437,51 @@ impl KspaceStyle for Pppm {
         drop(span);
         let scale_back = len as f64;
 
-        // 5. Interpolate the field to the particles ("interp").
+        // 5. Interpolate the field to the particles ("interp"). Per-atom
+        // elementwise gather: stripe-parallel, bitwise identical to serial.
         let span = rec.span(KSPACE_LANE, "kspace", "field_interp");
         let force_pref = self.qqr2e * 4.0 * std::f64::consts::PI / volume * scale_back;
-        for i in 0..n_atoms {
-            let base = bases[i];
-            let w3 = &weights[i];
-            let mut e_at = Vec3::zero();
-            for jz in 0..order {
-                let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
-                for jy in 0..order {
-                    let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
-                    let wzy = w3[2][jz] * w3[1][jy];
-                    for jx in 0..order {
-                        let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
-                        let w = wzy * w3[0][jx];
-                        let idx = fft.index(gx, gy, gz);
-                        e_at.x += w * self.field[0][idx].re;
-                        e_at.y += w * self.field[1][idx].re;
-                        e_at.z += w * self.field[2][idx].re;
+        let field = &self.field;
+        let interp = |lo_i: usize, fs: &mut [V3]| {
+            for (di, fi) in fs.iter_mut().enumerate() {
+                let i = lo_i + di;
+                let base = bases[i];
+                let w3 = &weights[i];
+                let mut e_at = Vec3::zero();
+                for jz in 0..order {
+                    let gz = (base[2] + jz as i64).rem_euclid(nz as i64) as usize;
+                    for jy in 0..order {
+                        let gy = (base[1] + jy as i64).rem_euclid(ny as i64) as usize;
+                        let wzy = w3[2][jz] * w3[1][jy];
+                        for jx in 0..order {
+                            let gx = (base[0] + jx as i64).rem_euclid(nx as i64) as usize;
+                            let w = wzy * w3[0][jx];
+                            let idx = (gz * ny + gy) * nx + gx;
+                            e_at.x += w * field[0][idx].re;
+                            e_at.y += w * field[1][idx].re;
+                            e_at.z += w * field[2][idx].re;
+                        }
                     }
                 }
+                *fi += e_at * (force_pref * q[i]);
             }
-            f[i] += e_at * (force_pref * q[i]);
+        };
+        let t = t_req.min(n_atoms.max(1));
+        if t > 1 {
+            let stripe = n_atoms.div_ceil(t);
+            crossbeam::thread::scope(|s| {
+                for (k, fs) in f.chunks_mut(stripe).enumerate() {
+                    let interp = &interp;
+                    let rec = &rec;
+                    s.spawn(move |_| {
+                        let _guard = rec.span(THREAD_LANE_BASE + k as u32, "thread", "pppm_interp");
+                        interp(k * stripe, fs);
+                    });
+                }
+            })
+            .expect("pppm worker panicked");
+        } else {
+            interp(0, f);
         }
         drop(span);
         self.fft = Some(fft);
@@ -404,10 +537,9 @@ mod tests {
 
     #[test]
     fn bspline_partition_of_unity() {
-        let p = Pppm::new(5.0, 1e-4, 5);
         for k in 0..50 {
             let u = 0.02 * k as f64 * 7.3 + 0.01;
-            let (_, w) = p.bspline_weights(u);
+            let (_, w) = bspline_row(5, u);
             let sum: f64 = w.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "u = {u}, sum = {sum}");
             assert!(w.iter().all(|&wi| wi >= 0.0));
@@ -555,6 +687,56 @@ mod tests {
             ],
         );
         assert!(rec.events().iter().all(|e| e.cat == "kspace"));
+    }
+
+    #[test]
+    fn threaded_compute_is_bitwise_identical_to_serial() {
+        let (bx, x, q) = random_neutral_system(48, 11.0, 7);
+        let mut serial = Pppm::new(4.9, 1e-5, 5);
+        serial.setup(&bx, &q).unwrap();
+        let mut f_serial = vec![Vec3::zero(); x.len()];
+        let e_serial = serial.compute(&bx, &x, &q, &mut f_serial);
+        assert!(e_serial.ecoul.is_finite());
+        for t in [2usize, 3, 4, 7] {
+            let mut pppm = Pppm::new(4.9, 1e-5, 5);
+            pppm.setup(&bx, &q).unwrap();
+            // After setup, to prove the knob reaches an already-built FFT.
+            KspaceStyle::set_threads(&mut pppm, Threads::fast(t));
+            let mut f = vec![Vec3::zero(); x.len()];
+            let e = pppm.compute(&bx, &x, &q, &mut f);
+            assert_eq!(e.ecoul.to_bits(), e_serial.ecoul.to_bits(), "t = {t}");
+            assert_eq!(e.virial.to_bits(), e_serial.virial.to_bits(), "t = {t}");
+            for (a, b) in f.iter().zip(&f_serial) {
+                for d in 0..3 {
+                    assert_eq!(a[d].to_bits(), b[d].to_bits(), "t = {t}, dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_compute_emits_per_thread_spans() {
+        let (bx, x, q) = random_neutral_system(32, 10.0, 4);
+        let mut pppm = Pppm::new(4.4, 1e-4, 5);
+        let rec = Recorder::default();
+        KspaceStyle::set_recorder(&mut pppm, rec.clone());
+        KspaceStyle::set_threads(&mut pppm, Threads::fast(2));
+        pppm.setup(&bx, &q).unwrap();
+        let mut f = vec![Vec3::zero(); x.len()];
+        pppm.compute(&bx, &x, &q, &mut f);
+        let events = rec.events();
+        let thread_events: Vec<_> = events.iter().filter(|e| e.cat == "thread").collect();
+        assert!(
+            thread_events.iter().any(|e| e.name == "pppm_spread"),
+            "expected pppm_spread thread spans"
+        );
+        assert!(
+            thread_events.iter().any(|e| e.name == "pppm_interp"),
+            "expected pppm_interp thread spans"
+        );
+        assert!(thread_events
+            .iter()
+            .all(|e| e.lane >= THREAD_LANE_BASE && e.lane < THREAD_LANE_BASE + 2));
     }
 
     #[test]

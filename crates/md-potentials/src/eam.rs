@@ -84,6 +84,98 @@ impl SuttonChenEam {
         SuttonChenEam::new(1.2382e-2, 3.61, 9, 6, 39.432, 4.95).expect("valid Cu parameters")
     }
 
+    /// Energy prefactor ε, for assembling totals from the chunk helpers.
+    pub(crate) fn energy_scale(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Pass-1 body over atom rows `lo..hi`: accumulates electron densities
+    /// into the **full-length** `rho` (a row's neighbors land outside the
+    /// row range, which is why threaded callers give each chunk a private
+    /// buffer) and returns the rows' pair-repulsion energy partial.
+    pub(crate) fn density_chunk(
+        &self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        lo: usize,
+        hi: usize,
+        rho: &mut [f64],
+    ) -> f64 {
+        let cut2 = self.cutoff * self.cutoff;
+        let mut e_pair = 0.0;
+        for i in lo..hi {
+            let xi = sys.x[i];
+            for &j in nl.neighbors(i) {
+                let ju = j as usize;
+                let d = sys.bx.min_image(xi, sys.x[ju]);
+                let r2 = d.norm2();
+                if r2 >= cut2 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let ar = self.a / r;
+                e_pair += ar.powi(self.n);
+                let dens = ar.powi(self.m);
+                rho[i] += dens;
+                rho[ju] += dens;
+            }
+        }
+        e_pair
+    }
+
+    /// Embedding term over aligned sub-slices of ρ and dF/dρ (elementwise,
+    /// so threaded callers can hand out disjoint chunks). Fills `dembed`
+    /// and returns the embedding energy partial.
+    pub(crate) fn embed_slice(&self, rho: &[f64], dembed: &mut [f64]) -> f64 {
+        let mut e_embed = 0.0;
+        for (r, de) in rho.iter().zip(dembed.iter_mut()) {
+            let sqrt_rho = r.max(1e-300).sqrt();
+            e_embed -= self.c * sqrt_rho;
+            *de = -self.c / (2.0 * sqrt_rho);
+        }
+        e_embed
+    }
+
+    /// Pass-2 body over atom rows `lo..hi`: accumulates forces into the
+    /// **full-length** `f` (Newton's third law writes to neighbors outside
+    /// the rows) and returns the rows' virial partial.
+    pub(crate) fn force_chunk(
+        &self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        lo: usize,
+        hi: usize,
+        dembed: &[f64],
+        f: &mut [V3],
+    ) -> f64 {
+        let cut2 = self.cutoff * self.cutoff;
+        let mut virial = 0.0;
+        for i in lo..hi {
+            let xi = sys.x[i];
+            let mut fi = Vec3::zero();
+            for &j in nl.neighbors(i) {
+                let ju = j as usize;
+                let d = sys.bx.min_image(xi, sys.x[ju]);
+                let r2 = d.norm2();
+                if r2 >= cut2 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let ar = self.a / r;
+                // -dE/dr = [ n (a/r)^n + (F'_i + F'_j) m (a/r)^m ] / r  (times ε).
+                let dpair = self.n as f64 * ar.powi(self.n);
+                let ddens = self.m as f64 * ar.powi(self.m);
+                let fpair = self.epsilon * (dpair + (dembed[i] + dembed[ju]) * ddens) / r2;
+                let df = d * fpair;
+                fi += df;
+                f[ju] -= df;
+                virial += r2 * fpair;
+            }
+            f[i] += fi;
+        }
+        virial
+    }
+
     /// Total potential energy of a finite cluster (reference/tests; O(N²)).
     pub fn cluster_energy(&self, x: &[V3]) -> f64 {
         let mut e_pair = 0.0;
@@ -115,67 +207,26 @@ impl PairStyle for SuttonChenEam {
 
     fn compute(&mut self, sys: &PairSystem<'_>, nl: &NeighborList, f: &mut [V3]) -> EnergyVirial {
         let natoms = sys.x.len();
-        self.rho.clear();
-        self.rho.resize(natoms, 0.0);
-        let cut2 = self.cutoff * self.cutoff;
-        let mut e_pair = 0.0;
 
-        // Pass 1: densities + pair repulsion energy.
-        for i in 0..natoms {
-            let xi = sys.x[i];
-            for &j in nl.neighbors(i) {
-                let ju = j as usize;
-                let d = sys.bx.min_image(xi, sys.x[ju]);
-                let r2 = d.norm2();
-                if r2 >= cut2 {
-                    continue;
-                }
-                let r = r2.sqrt();
-                let ar = self.a / r;
-                e_pair += ar.powi(self.n);
-                let dens = ar.powi(self.m);
-                self.rho[i] += dens;
-                self.rho[ju] += dens;
-            }
-        }
+        // Pass 1: densities + pair repulsion energy. The scratch arrays are
+        // taken out of `self` so the chunk helpers (which serve the threaded
+        // wrapper too) can borrow the style immutably.
+        let mut rho = std::mem::take(&mut self.rho);
+        rho.clear();
+        rho.resize(natoms, 0.0);
+        let e_pair = self.density_chunk(sys, nl, 0, natoms, &mut rho);
 
         // Embedding energy and its derivative.
-        self.dembed.clear();
-        self.dembed.resize(natoms, 0.0);
-        let mut e_embed = 0.0;
-        for i in 0..natoms {
-            let sqrt_rho = self.rho[i].max(1e-300).sqrt();
-            e_embed -= self.c * sqrt_rho;
-            self.dembed[i] = -self.c / (2.0 * sqrt_rho);
-        }
+        let mut dembed = std::mem::take(&mut self.dembed);
+        dembed.clear();
+        dembed.resize(natoms, 0.0);
+        let e_embed = self.embed_slice(&rho, &mut dembed);
 
         // Pass 2: forces.
-        let mut virial = 0.0;
-        for i in 0..natoms {
-            let xi = sys.x[i];
-            let mut fi = Vec3::zero();
-            for &j in nl.neighbors(i) {
-                let ju = j as usize;
-                let d = sys.bx.min_image(xi, sys.x[ju]);
-                let r2 = d.norm2();
-                if r2 >= cut2 {
-                    continue;
-                }
-                let r = r2.sqrt();
-                let ar = self.a / r;
-                // -dE/dr = [ n (a/r)^n + (F'_i + F'_j) m (a/r)^m ] / r  (times ε).
-                let dpair = self.n as f64 * ar.powi(self.n);
-                let ddens = self.m as f64 * ar.powi(self.m);
-                let fpair =
-                    self.epsilon * (dpair + (self.dembed[i] + self.dembed[ju]) * ddens) / r2;
-                let df = d * fpair;
-                fi += df;
-                f[ju] -= df;
-                virial += r2 * fpair;
-            }
-            f[i] += fi;
-        }
+        let virial = self.force_chunk(sys, nl, 0, natoms, &dembed, f);
 
+        self.rho = rho;
+        self.dembed = dembed;
         EnergyVirial {
             evdwl: self.epsilon * e_pair + self.epsilon * e_embed,
             ecoul: 0.0,

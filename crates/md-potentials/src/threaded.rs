@@ -3,47 +3,126 @@
 //! intra-task OpenMP; the authors found pure MPI faster for their runs, and
 //! this wrapper is how that comparison is reproduced here).
 //!
-//! [`Threaded`] splits the atom range across threads; each thread walks its
-//! atoms' neighbor lists into a private force buffer (so Newton's-third-law
-//! updates never race) and the buffers are reduced at the end — the standard
-//! force-decomposition scheme of threaded MD kernels.
+//! [`Threaded`] splits the atom range into chunks; each chunk is evaluated
+//! into a private force buffer (so Newton's-third-law updates never race)
+//! and the buffers are reduced at the end — the standard force-decomposition
+//! scheme of threaded MD kernels.
+//!
+//! ## Determinism
+//!
+//! The reduction order is *per chunk, ascending* — never per thread. In
+//! fast mode ([`Threads::fast`]) the chunk count equals the thread count, so
+//! results are reproducible for a fixed count but drift across counts at the
+//! fp-associativity level. In deterministic mode ([`Threads::deterministic`])
+//! the atom range is always split into [`Threads::DET_CHUNKS`] chunks
+//! regardless of the thread count, making the floating-point operation tree
+//! — and therefore the trajectory — **bitwise identical** at 1, 2, or 4
+//! threads. `tests/thread_invariance.rs` locks this in for every deck.
+//!
+//! Styles opt in through [`Threadable`]: the purely pairwise styles
+//! ([`ChunkSafe`]) reuse a generic chunk evaluator, while the many-body EAM
+//! provides its own two-pass decomposition (per-chunk density buffers,
+//! chunked embedding, per-chunk force buffers). The history-keeping granular
+//! style has shared contact state and implements neither, so wrapping it
+//! fails to compile:
+//!
+//! ```compile_fail
+//! use md_potentials::{GranHookeHistory, Threaded};
+//!
+//! let gran = GranHookeHistory::new(2.0e5, 50.0, 0.5, 1.0).unwrap();
+//! let _ = Threaded::new(gran, 2); // ERROR: GranHookeHistory: !Threadable
+//! ```
 
 use md_core::neighbor::{NeighborList, NeighborListKind};
-use md_core::{CoreError, EnergyVirial, PairStyle, PairSystem, PrecisionMode, Vec3, V3};
+use md_core::{CoreError, EnergyVirial, PairStyle, PairSystem, PrecisionMode, Threads, Vec3, V3};
+use md_observe::Recorder;
+use std::time::Instant;
 
-/// A pair style executed by a team of threads over private force buffers.
+/// First trace lane for per-thread worker spans ("thread 0", "thread 1", …).
+/// The engine owns lane 0 and the virtual-cluster ranks own lanes `1..`, so
+/// worker lanes start well above both.
+const THREAD_LANE_BASE: u32 = 64;
+
+/// A pair style executed by a team of threads over private chunk buffers.
 ///
-/// The wrapped style must be *chunk-safe*: evaluating a subset of the
-/// neighbor lists must produce that subset's exact force contributions.
-/// Purely pairwise styles (LJ, CHARMM) are; many-body EAM (inter-pass
-/// density reduction) and the history-keeping granular style (shared contact
-/// state) are not and are rejected at construction.
+/// Wraps any [`Threadable`] style. Construct with [`Threaded::new`] (fast
+/// mode) or [`Threaded::with_mode`] (full [`Threads`] control, including the
+/// deterministic fixed-chunk reductions).
 pub struct Threaded<P> {
-    workers: Vec<P>,
-    nthreads: usize,
+    style: P,
+    threads: Threads,
+    recorder: Recorder,
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for Threaded<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Threaded")
-            .field("nthreads", &self.nthreads)
-            .field("style", &self.workers.first())
+            .field("threads", &self.threads)
+            .field("style", &self.style)
             .finish()
     }
 }
 
-/// Styles that may be evaluated chunk-wise by [`Threaded`].
+/// Styles whose force computation [`Threaded`] knows how to decompose into
+/// fixed-order chunk reductions.
 ///
-/// Implemented for the purely pairwise styles; sealed by construction (the
-/// trait is public so downstream styles can opt in, but the contract is
-/// documented above).
+/// Purely pairwise styles get this via the generic [`ChunkSafe`] evaluator;
+/// the many-body EAM implements its own two-pass scheme. Styles with shared
+/// mutable inter-pair state (the granular history style) must not implement
+/// this trait.
+pub trait Threadable: PairStyle + Clone + Send + Sync + Sized {
+    /// Evaluates forces with the chunk decomposition implied by `threads`
+    /// (see [`Threads::chunks`]), reducing all partial results in ascending
+    /// chunk order.
+    fn compute_chunked(
+        &mut self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        f: &mut [V3],
+        threads: Threads,
+        recorder: &Recorder,
+    ) -> EnergyVirial;
+}
+
+/// Styles that may be evaluated chunk-wise by the *generic* evaluator:
+/// evaluating a subset of the neighbor lists must produce that subset's
+/// exact force contributions. Purely pairwise styles (LJ, CHARMM) qualify;
+/// many-body EAM (inter-pass density reduction — it implements
+/// [`Threadable`] directly instead) and the history-keeping granular style
+/// (shared contact state) do not.
 pub trait ChunkSafe: PairStyle + Clone {}
 
 impl ChunkSafe for crate::LjCut {}
 impl ChunkSafe for crate::LjCharmmCoulLong {}
 
-impl<P: ChunkSafe> Threaded<P> {
-    /// Wraps `style`, replicating it per thread.
+impl Threadable for crate::LjCut {
+    fn compute_chunked(
+        &mut self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        f: &mut [V3],
+        threads: Threads,
+        recorder: &Recorder,
+    ) -> EnergyVirial {
+        compute_chunk_safe(self, sys, nl, f, threads, recorder)
+    }
+}
+
+impl Threadable for crate::LjCharmmCoulLong {
+    fn compute_chunked(
+        &mut self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        f: &mut [V3],
+        threads: Threads,
+        recorder: &Recorder,
+    ) -> EnergyVirial {
+        compute_chunk_safe(self, sys, nl, f, threads, recorder)
+    }
+}
+
+impl<P: Threadable> Threaded<P> {
+    /// Wraps `style` for fast-mode execution on `nthreads` threads.
     ///
     /// # Errors
     ///
@@ -56,14 +135,261 @@ impl<P: ChunkSafe> Threaded<P> {
             });
         }
         Ok(Threaded {
-            workers: vec![style; nthreads],
-            nthreads,
+            style,
+            threads: Threads::fast(nthreads),
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Wraps `style` with full control over count and determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `threads.count` is zero.
+    pub fn with_mode(style: P, threads: Threads) -> Result<Self, CoreError> {
+        if threads.count == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "threads",
+                reason: "need at least one thread".to_string(),
+            });
+        }
+        Ok(Threaded {
+            style,
+            threads,
+            recorder: Recorder::disabled(),
         })
     }
 
     /// Thread count.
     pub fn nthreads(&self) -> usize {
-        self.nthreads
+        self.threads.count
+    }
+
+    /// The full thread-team configuration.
+    pub fn mode(&self) -> Threads {
+        self.threads
+    }
+}
+
+/// Evenly sized chunk bounds over `0..n`. Depends only on `n` and `nchunks`
+/// — never the thread count — which is what makes the deterministic
+/// decomposition thread-count invariant. Trailing chunks may be empty.
+fn chunk_bounds(n: usize, nchunks: usize) -> Vec<(usize, usize)> {
+    let nchunks = nchunks.max(1);
+    let size = n.div_ceil(nchunks).max(1);
+    (0..nchunks)
+        .map(|c| ((c * size).min(n), ((c + 1) * size).min(n)))
+        .collect()
+}
+
+/// Deals `jobs` to `t` workers in contiguous blocks and runs `body` on each
+/// job — inline when one worker suffices, on scoped threads otherwise. Each
+/// worker's wall time is recorded as a `name` span on its own trace lane.
+/// Which worker runs which job never affects results: jobs only touch their
+/// own state, and callers reduce job outputs in job order afterwards.
+fn run_jobs<J: Send>(
+    jobs: &mut [J],
+    t: usize,
+    recorder: &Recorder,
+    name: &'static str,
+    body: impl Fn(&mut J) + Send + Sync,
+) {
+    if t <= 1 || jobs.len() <= 1 {
+        for job in jobs.iter_mut() {
+            body(job);
+        }
+        return;
+    }
+    let per_thread = jobs.len().div_ceil(t);
+    crossbeam::thread::scope(|scope| {
+        for (k, jobs_k) in jobs.chunks_mut(per_thread).enumerate() {
+            let body = &body;
+            scope.spawn(move |_| {
+                let t0 = Instant::now();
+                for job in jobs_k.iter_mut() {
+                    body(job);
+                }
+                recorder.record_span(
+                    THREAD_LANE_BASE + k as u32,
+                    "thread",
+                    name,
+                    t0,
+                    t0.elapsed().as_secs_f64(),
+                );
+            });
+        }
+    })
+    .expect("threaded pair worker panicked");
+}
+
+/// The generic chunk evaluator for [`ChunkSafe`] styles: each chunk clones
+/// the style, evaluates its rows through a restricted neighbor-list view
+/// into a private force buffer, and the buffers/energies are reduced in
+/// ascending chunk order.
+fn compute_chunk_safe<P: ChunkSafe + Send + Sync>(
+    style: &P,
+    sys: &PairSystem<'_>,
+    nl: &NeighborList,
+    f: &mut [V3],
+    threads: Threads,
+    recorder: &Recorder,
+) -> EnergyVirial {
+    let n = sys.x.len();
+    let t = threads.count.min(n).max(1);
+
+    struct Job<P> {
+        lo: usize,
+        hi: usize,
+        worker: P,
+        buf: Vec<V3>,
+        energy: EnergyVirial,
+    }
+    let mut jobs: Vec<Job<P>> = chunk_bounds(n, threads.chunks().min(n))
+        .into_iter()
+        .map(|(lo, hi)| Job {
+            lo,
+            hi,
+            worker: style.clone(),
+            buf: vec![Vec3::zero(); n],
+            energy: EnergyVirial::default(),
+        })
+        .collect();
+
+    run_jobs(&mut jobs, t, recorder, "pair", |job| {
+        if job.lo < job.hi {
+            let restricted = chunk_list(nl, job.lo, job.hi);
+            job.energy = job.worker.compute(sys, &restricted, &mut job.buf);
+        }
+    });
+
+    let mut total = EnergyVirial::default();
+    for job in &jobs {
+        for (fi, bi) in f.iter_mut().zip(&job.buf) {
+            *fi += *bi;
+        }
+        total += job.energy;
+    }
+    total
+}
+
+impl Threadable for crate::SuttonChenEam {
+    /// Two-pass chunk decomposition of the many-body EAM: (1) per-chunk
+    /// full-length density buffers + pair-energy partials, reduced in chunk
+    /// order; (2) the embedding derivative over disjoint chunk slices of ρ;
+    /// (3) per-chunk force buffers + virial partials, reduced in chunk
+    /// order. All cross-chunk sums are fixed-order, so the deterministic
+    /// mode's trajectories are thread-count invariant.
+    fn compute_chunked(
+        &mut self,
+        sys: &PairSystem<'_>,
+        nl: &NeighborList,
+        f: &mut [V3],
+        threads: Threads,
+        recorder: &Recorder,
+    ) -> EnergyVirial {
+        let style = &*self;
+        let n = sys.x.len();
+        let t = threads.count.min(n).max(1);
+        let bounds = chunk_bounds(n, threads.chunks().min(n));
+
+        // Pass 1: densities + pair repulsion. A chunk's rows contribute
+        // density to neighbors *outside* the chunk (Newton's third law on a
+        // half list), so every chunk accumulates into a private full-length
+        // buffer.
+        struct DensityJob {
+            lo: usize,
+            hi: usize,
+            rho: Vec<f64>,
+            e_pair: f64,
+        }
+        let mut djobs: Vec<DensityJob> = bounds
+            .iter()
+            .map(|&(lo, hi)| DensityJob {
+                lo,
+                hi,
+                rho: vec![0.0; n],
+                e_pair: 0.0,
+            })
+            .collect();
+        run_jobs(&mut djobs, t, recorder, "eam_density", |job| {
+            job.e_pair = style.density_chunk(sys, nl, job.lo, job.hi, &mut job.rho);
+        });
+        let mut rho = vec![0.0; n];
+        let mut e_pair = 0.0;
+        for job in &djobs {
+            for (r, pr) in rho.iter_mut().zip(&job.rho) {
+                *r += *pr;
+            }
+            e_pair += job.e_pair;
+        }
+        drop(djobs);
+
+        // Embedding: dF/dρ is elementwise, so chunks write disjoint slices;
+        // only the energy needs the fixed-order partial reduction.
+        let mut dembed = vec![0.0; n];
+        let mut e_embed = 0.0;
+        {
+            struct EmbedJob<'a> {
+                lo: usize,
+                hi: usize,
+                dembed: &'a mut [f64],
+                e_embed: f64,
+            }
+            let mut ejobs: Vec<EmbedJob<'_>> = Vec::with_capacity(bounds.len());
+            let mut rest: &mut [f64] = &mut dembed;
+            for &(lo, hi) in &bounds {
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                ejobs.push(EmbedJob {
+                    lo,
+                    hi,
+                    dembed: head,
+                    e_embed: 0.0,
+                });
+            }
+            let rho_ref: &[f64] = &rho;
+            run_jobs(&mut ejobs, t, recorder, "eam_embed", |job| {
+                job.e_embed = style.embed_slice(&rho_ref[job.lo..job.hi], job.dembed);
+            });
+            for job in &ejobs {
+                e_embed += job.e_embed;
+            }
+        }
+
+        // Pass 2: forces, again into private full-length buffers.
+        struct ForceJob {
+            lo: usize,
+            hi: usize,
+            buf: Vec<V3>,
+            virial: f64,
+        }
+        let mut fjobs: Vec<ForceJob> = bounds
+            .iter()
+            .map(|&(lo, hi)| ForceJob {
+                lo,
+                hi,
+                buf: vec![Vec3::zero(); n],
+                virial: 0.0,
+            })
+            .collect();
+        let dembed_ref: &[f64] = &dembed;
+        run_jobs(&mut fjobs, t, recorder, "eam_force", |job| {
+            job.virial = style.force_chunk(sys, nl, job.lo, job.hi, dembed_ref, &mut job.buf);
+        });
+        let mut virial = 0.0;
+        for job in &fjobs {
+            for (fi, bi) in f.iter_mut().zip(&job.buf) {
+                *fi += *bi;
+            }
+            virial += job.virial;
+        }
+
+        let eps = style.energy_scale();
+        EnergyVirial {
+            evdwl: eps * e_pair + eps * e_embed,
+            ecoul: 0.0,
+            virial,
+        }
     }
 }
 
@@ -114,76 +440,51 @@ impl NeighborListRebuilder {
     }
 }
 
-impl<P: ChunkSafe + Send> PairStyle for Threaded<P> {
+impl<P: Threadable> PairStyle for Threaded<P> {
     fn name(&self) -> &'static str {
         "threaded"
     }
 
     fn cutoff(&self) -> f64 {
-        self.workers[0].cutoff()
+        self.style.cutoff()
     }
 
     fn list_kind(&self) -> NeighborListKind {
-        self.workers[0].list_kind()
+        self.style.list_kind()
     }
 
     fn compute(&mut self, sys: &PairSystem<'_>, nl: &NeighborList, f: &mut [V3]) -> EnergyVirial {
-        let n = sys.x.len();
-        let t = self.nthreads.min(n.max(1));
-        if t <= 1 {
-            return self.workers[0].compute(sys, nl, f);
+        if !self.threads.active() || sys.x.is_empty() {
+            return self.style.compute(sys, nl, f);
         }
-        let chunk = n.div_ceil(t);
-        let mut buffers: Vec<Vec<V3>> = vec![vec![Vec3::zero(); n]; t];
-        let mut energies: Vec<EnergyVirial> = vec![EnergyVirial::default(); t];
-
-        crossbeam::thread::scope(|scope| {
-            for (k, (worker, (buf, energy))) in self
-                .workers
-                .iter_mut()
-                .zip(buffers.iter_mut().zip(energies.iter_mut()))
-                .enumerate()
-            {
-                let lo = k * chunk;
-                let hi = ((k + 1) * chunk).min(n);
-                let sys_ref = &*sys;
-                let nl_ref = nl;
-                scope.spawn(move |_| {
-                    if lo < hi {
-                        let restricted = chunk_list(nl_ref, lo, hi);
-                        *energy = worker.compute(sys_ref, &restricted, buf);
-                    }
-                });
-            }
-        })
-        .expect("force worker panicked");
-
-        let mut total = EnergyVirial::default();
-        for (buf, e) in buffers.iter().zip(&energies) {
-            for (fi, bi) in f.iter_mut().zip(buf) {
-                *fi += *bi;
-            }
-            total += *e;
-        }
-        total
+        self.style
+            .compute_chunked(sys, nl, f, self.threads, &self.recorder)
     }
 
     fn set_precision(&mut self, mode: PrecisionMode) {
-        for w in &mut self.workers {
-            w.set_precision(mode);
-        }
+        self.style.set_precision(mode);
     }
 
     fn precision(&self) -> PrecisionMode {
-        self.workers[0].precision()
+        self.style.precision()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        if recorder.is_enabled() && self.threads.count > 1 {
+            for k in 0..self.threads.count {
+                recorder.set_lane_name(THREAD_LANE_BASE + k as u32, format!("thread {k}"));
+            }
+        }
+        self.recorder = recorder;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LjCut;
+    use crate::{LjCut, SuttonChenEam};
     use md_core::{SimBox, UnitSystem};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -234,6 +535,43 @@ mod tests {
         (f, e)
     }
 
+    /// EAM rig: a slightly perturbed fcc block so densities are realistic.
+    fn eam_rig(seed: u64, jitter: f64) -> (SimBox, Vec<V3>, NeighborList) {
+        let a0 = 3.615;
+        let cells = 3usize;
+        let l = cells as f64 * a0;
+        let bx = SimBox::cubic(l);
+        let basis = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.5, 0.0),
+            Vec3::new(0.5, 0.0, 0.5),
+            Vec3::new(0.0, 0.5, 0.5),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        for cx in 0..cells {
+            for cy in 0..cells {
+                for cz in 0..cells {
+                    for b in basis {
+                        let mut j = || (rng.gen::<f64>() - 0.5) * jitter;
+                        let dx = j();
+                        let dy = j();
+                        let dz = j();
+                        x.push(Vec3::new(
+                            (cx as f64 + b.x) * a0 + dx,
+                            (cy as f64 + b.y) * a0 + dy,
+                            (cz as f64 + b.z) * a0 + dz,
+                        ));
+                    }
+                }
+            }
+        }
+        let eam = SuttonChenEam::copper();
+        let mut nl = NeighborList::new(eam.cutoff(), 0.3, NeighborListKind::Half);
+        nl.build(&x, &bx).unwrap();
+        (bx, x, nl)
+    }
+
     #[test]
     fn threaded_forces_match_serial_for_any_thread_count() {
         let (bx, x, nl) = rig(500, 3);
@@ -244,7 +582,7 @@ mod tests {
                 Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), t).unwrap();
             let (f1, e1) = forces(&mut threaded, &bx, &x, &nl);
             // Relative tolerances: the unscreened random gas has near-contact
-            // pairs with enormous r^-12 terms, so cross-thread summation
+            // pairs with enormous r^-12 terms, so cross-chunk summation
             // order shifts the absolute values at the fp-associativity level.
             let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1.0);
             assert!(rel(e0.evdwl, e1.evdwl) < 1e-12, "{t} threads: energy");
@@ -259,6 +597,80 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_mode_is_bitwise_thread_count_invariant() {
+        let (bx, x, nl) = rig(400, 11);
+        let reference = {
+            let mut w = Threaded::with_mode(
+                LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(),
+                Threads::deterministic(1),
+            )
+            .unwrap();
+            forces(&mut w, &bx, &x, &nl)
+        };
+        for t in [2usize, 3, 4, 7] {
+            let mut w = Threaded::with_mode(
+                LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(),
+                Threads::deterministic(t),
+            )
+            .unwrap();
+            let (f, e) = forces(&mut w, &bx, &x, &nl);
+            assert_eq!(
+                e.evdwl.to_bits(),
+                reference.1.evdwl.to_bits(),
+                "{t}: energy"
+            );
+            assert_eq!(
+                e.virial.to_bits(),
+                reference.1.virial.to_bits(),
+                "{t}: virial"
+            );
+            for i in 0..x.len() {
+                for d in 0..3 {
+                    assert_eq!(
+                        f[i][d].to_bits(),
+                        reference.0[i][d].to_bits(),
+                        "{t} threads: atom {i} axis {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_eam_deterministic_is_bitwise_invariant() {
+        let (bx, x, nl) = eam_rig(5, 0.15);
+        let reference = {
+            let mut w =
+                Threaded::with_mode(SuttonChenEam::copper(), Threads::deterministic(1)).unwrap();
+            forces(&mut w, &bx, &x, &nl)
+        };
+        for t in [2usize, 4] {
+            let mut w =
+                Threaded::with_mode(SuttonChenEam::copper(), Threads::deterministic(t)).unwrap();
+            let (f, e) = forces(&mut w, &bx, &x, &nl);
+            assert_eq!(
+                e.evdwl.to_bits(),
+                reference.1.evdwl.to_bits(),
+                "{t}: energy"
+            );
+            assert_eq!(
+                e.virial.to_bits(),
+                reference.1.virial.to_bits(),
+                "{t}: virial"
+            );
+            for i in 0..x.len() {
+                for d in 0..3 {
+                    assert_eq!(
+                        f[i][d].to_bits(),
+                        reference.0[i][d].to_bits(),
+                        "{t} threads: atom {i} axis {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn precision_plumbs_through() {
         let mut threaded =
             Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), 2).unwrap();
@@ -266,10 +678,67 @@ mod tests {
         assert_eq!(threaded.precision(), PrecisionMode::Single);
         assert_eq!(threaded.cutoff(), 2.5);
         assert_eq!(threaded.nthreads(), 2);
+        assert!(!threaded.mode().deterministic);
     }
 
     #[test]
     fn rejects_zero_threads() {
         assert!(Threaded::new(LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), 0).is_err());
+        assert!(Threaded::with_mode(
+            LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(),
+            Threads {
+                count: 0,
+                deterministic: true
+            }
+        )
+        .is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `Threaded<SuttonChenEam>` must match serial EAM to a ulp-scaled
+        /// tolerance on randomized configurations: the chunk reduction
+        /// reassociates the density/energy sums, so exact equality is not
+        /// expected, but the error must stay at the fp-noise level.
+        #[test]
+        fn threaded_eam_matches_serial(seed in 0u64..1000, t in 1usize..6, det in proptest::bool::ANY) {
+            let (bx, x, nl) = eam_rig(seed, 0.25);
+            let mut serial = SuttonChenEam::copper();
+            let (f0, e0) = forces(&mut serial, &bx, &x, &nl);
+            let mode = if det { Threads::deterministic(t) } else { Threads::fast(t) };
+            let mut threaded = Threaded::with_mode(SuttonChenEam::copper(), mode).unwrap();
+            let (f1, e1) = forces(&mut threaded, &bx, &x, &nl);
+            // ~1 ulp per reassociated term, scaled by the accumulation length.
+            let tol = 1e-12;
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1.0);
+            prop_assert!(rel(e0.evdwl, e1.evdwl) < tol, "energy {} vs {}", e0.evdwl, e1.evdwl);
+            prop_assert!(rel(e0.virial, e1.virial) < tol, "virial {} vs {}", e0.virial, e1.virial);
+            for i in 0..x.len() {
+                prop_assert!(
+                    (f0[i] - f1[i]).norm() < tol * f0[i].norm().max(1.0),
+                    "atom {} force {:?} vs {:?}", i, f0[i], f1[i]
+                );
+            }
+        }
+
+        /// The generic chunk evaluator must agree with serial LJ under both
+        /// modes for arbitrary counts.
+        #[test]
+        fn threaded_lj_matches_serial(seed in 0u64..1000, t in 1usize..8, det in proptest::bool::ANY) {
+            let (bx, x, nl) = rig(200, seed);
+            let mut serial = LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap();
+            let (f0, e0) = forces(&mut serial, &bx, &x, &nl);
+            let mode = if det { Threads::deterministic(t) } else { Threads::fast(t) };
+            let mut threaded = Threaded::with_mode(
+                LjCut::new(1, &[(0, 0, 1.0, 1.0)], 2.5).unwrap(), mode).unwrap();
+            let (f1, e1) = forces(&mut threaded, &bx, &x, &nl);
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1.0);
+            prop_assert!(rel(e0.evdwl, e1.evdwl) < 1e-12);
+            prop_assert!(rel(e0.virial, e1.virial) < 1e-12);
+            for i in 0..x.len() {
+                prop_assert!((f0[i] - f1[i]).norm() < 1e-12 * f0[i].norm().max(1.0));
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! every initial bond length sits safely inside the FENE well.
 
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
+use md_core::{AtomStore, Result, SimBox, Simulation, Threads, UnitSystem, Vec3, V3};
 use md_potentials::{FeneBond, LjCut};
 
 /// Reduced bead density.
@@ -61,6 +61,16 @@ pub fn positions(scale: usize) -> (SimBox, Vec<V3>) {
 ///
 /// Propagates engine construction failures.
 pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
+    build_with(scale, seed, Threads::from_env())
+}
+
+/// Builds the runnable deck with an explicit threading knob (the WCA pair
+/// kernel and neighbor builds thread; bonded terms stay serial).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulation> {
     let (bx, x) = positions(scale);
     let n = x.len();
     debug_assert_eq!(n % CHAIN_LENGTH, 0);
@@ -82,7 +92,8 @@ pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
     seed_velocities(&mut atoms, &units, TEMPERATURE, seed);
     let wca = LjCut::new(1, &[(0, 0, 1.0, 1.0)], CUTOFF)?;
     Simulation::builder(bx, atoms, units)
-        .pair(Box::new(wca))
+        .pair(crate::wrap_pair(wca, threads)?)
+        .threads(threads)
         .bond(Box::new(FeneBond::kremer_grest()))
         .fix(Box::new(md_core::Langevin::new(
             TEMPERATURE,

@@ -7,7 +7,7 @@
 //! in z. This is the one benchmark without Newton's-third-law pair halving
 //! and the one the reference GPU package cannot run.
 
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
+use md_core::{AtomStore, Result, SimBox, Simulation, Threads, UnitSystem, Vec3, V3};
 use md_potentials::{Freeze, GranHookeHistory, GranWall, Gravity};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +67,18 @@ pub fn positions(scale: usize, seed: u64) -> (SimBox, Vec<V3>) {
 ///
 /// Propagates engine construction failures.
 pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
+    build_with(scale, seed, Threads::from_env())
+}
+
+/// Builds the runnable deck with an explicit threading knob. The granular
+/// pair style mutates per-contact tangential history during `compute`, so
+/// it is not chunk-safe and stays serial — only the neighbor-list builds
+/// thread (which are pure-integer and bitwise invariant anyway).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulation> {
     let (bx, x) = positions(scale, seed);
     let nx = BASE_XY * scale;
     let ny = BASE_XY * scale;
@@ -81,6 +93,7 @@ pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
     let gran = GranHookeHistory::new(KN, GAMMA_N, XMU, DIAMETER)?;
     Simulation::builder(bx, atoms, units)
         .pair(Box::new(gran))
+        .threads(threads)
         .fix(Box::new(Gravity::chute(1.0, CHUTE_ANGLE)))
         .fix(Box::new(GranWall::new(0.0, KN, GAMMA_N)))
         .fix(Box::new(Freeze::new(1)))

@@ -6,7 +6,7 @@
 
 use crate::lattice::fcc;
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
+use md_core::{AtomStore, Result, SimBox, Simulation, Threads, UnitSystem, Vec3, V3};
 use md_potentials::SuttonChenEam;
 
 /// Copper fcc lattice constant (Å).
@@ -34,6 +34,16 @@ pub fn positions(scale: usize) -> (SimBox, Vec<V3>) {
 ///
 /// Propagates engine construction failures.
 pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
+    build_with(scale, seed, Threads::from_env())
+}
+
+/// Builds the runnable deck with an explicit threading knob (the two-pass
+/// EAM kernel threads per density/embedding/force chunk).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulation> {
     let (bx, x) = positions(scale);
     let mut atoms = AtomStore::with_capacity(x.len());
     for p in x {
@@ -43,7 +53,8 @@ pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
     let units = UnitSystem::metal();
     seed_velocities(&mut atoms, &units, TEMPERATURE, seed);
     Simulation::builder(bx, atoms, units)
-        .pair(Box::new(SuttonChenEam::copper()))
+        .pair(crate::wrap_pair(SuttonChenEam::copper(), threads)?)
+        .threads(threads)
         .skin(SKIN)
         .dt(DT)
         .thermo_every(100)

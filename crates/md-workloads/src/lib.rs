@@ -42,7 +42,23 @@ pub mod taxonomy;
 
 pub use taxonomy::{DeckInfo, TAXONOMY};
 
-use md_core::{CoreError, Result, Simulation};
+use md_core::force::PairStyle;
+use md_core::{CoreError, Result, Simulation, Threads};
+use md_potentials::{Threadable, Threaded};
+
+/// Boxes `style` for the builder, wrapping it in [`Threaded`] when the
+/// threading knob is active (more than one thread, or deterministic mode so
+/// even one thread follows the fixed-chunk reduction order).
+pub(crate) fn wrap_pair<P: Threadable + 'static>(
+    style: P,
+    threads: Threads,
+) -> Result<Box<dyn PairStyle>> {
+    if threads.active() {
+        Ok(Box::new(Threaded::with_mode(style, threads)?))
+    } else {
+        Ok(Box::new(style))
+    }
+}
 
 /// The five benchmarks of the suite.
 #[derive(
@@ -164,12 +180,32 @@ impl std::fmt::Debug for Deck {
 }
 
 /// Builds a runnable deck for `benchmark` at replication factor `scale`
-/// (1..=4), deterministically seeded.
+/// (1..=4), deterministically seeded. Threading comes from the environment
+/// (`MD_THREADS`, `MD_DETERMINISTIC`); use [`build_deck_with`] to set it
+/// explicitly.
 ///
 /// # Errors
 ///
 /// Returns an error if `scale` is outside 1..=4 or construction fails.
 pub fn build_deck(benchmark: Benchmark, scale: usize, seed: u64) -> Result<Deck> {
+    build_deck_with(benchmark, scale, seed, Threads::from_env())
+}
+
+/// Builds a runnable deck with an explicit shared-memory threading knob.
+/// Every hot kernel the benchmark owns — pair forces (LJ, CHARMM, EAM),
+/// neighbor-list builds, and PPPM for Rhodopsin — honors it; Chute's
+/// granular pair style keeps per-contact mutable history and stays serial
+/// (only its neighbor builds thread).
+///
+/// # Errors
+///
+/// Returns an error if `scale` is outside 1..=4 or construction fails.
+pub fn build_deck_with(
+    benchmark: Benchmark,
+    scale: usize,
+    seed: u64,
+    threads: Threads,
+) -> Result<Deck> {
     if !(1..=4).contains(&scale) {
         return Err(CoreError::InvalidParameter {
             name: "scale",
@@ -177,11 +213,11 @@ pub fn build_deck(benchmark: Benchmark, scale: usize, seed: u64) -> Result<Deck>
         });
     }
     let simulation = match benchmark {
-        Benchmark::Lj => lj::build(scale, seed)?,
-        Benchmark::Chain => chain::build(scale, seed)?,
-        Benchmark::Eam => eam::build(scale, seed)?,
-        Benchmark::Chute => chute::build(scale, seed)?,
-        Benchmark::Rhodo => rhodo::build(scale, seed)?,
+        Benchmark::Lj => lj::build_with(scale, seed, threads)?,
+        Benchmark::Chain => chain::build_with(scale, seed, threads)?,
+        Benchmark::Eam => eam::build_with(scale, seed, threads)?,
+        Benchmark::Chute => chute::build_with(scale, seed, threads)?,
+        Benchmark::Rhodo => rhodo::build_with(scale, seed, threads)?,
     };
     Ok(Deck {
         benchmark,

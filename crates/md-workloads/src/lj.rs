@@ -5,7 +5,7 @@
 
 use crate::lattice::{fcc, fcc_lattice_constant};
 use md_core::compute::seed_velocities;
-use md_core::{AtomStore, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
+use md_core::{AtomStore, Result, SimBox, Simulation, Threads, UnitSystem, Vec3, V3};
 use md_potentials::LjCut;
 
 /// Reduced density of the melt.
@@ -31,6 +31,15 @@ pub fn positions(scale: usize) -> (SimBox, Vec<V3>) {
 ///
 /// Propagates engine construction failures.
 pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
+    build_with(scale, seed, Threads::from_env())
+}
+
+/// Builds the runnable deck with an explicit threading knob.
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulation> {
     let (bx, x) = positions(scale);
     let mut atoms = AtomStore::with_capacity(x.len());
     for p in x {
@@ -41,7 +50,8 @@ pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
     seed_velocities(&mut atoms, &units, TEMPERATURE, seed);
     let lj = LjCut::new(1, &[(0, 0, 1.0, 1.0)], CUTOFF)?;
     Simulation::builder(bx, atoms, units)
-        .pair(Box::new(lj))
+        .pair(crate::wrap_pair(lj, threads)?)
+        .threads(threads)
         .skin(SKIN)
         .dt(DT)
         .thermo_every(100)

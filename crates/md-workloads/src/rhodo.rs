@@ -13,7 +13,7 @@
 use md_core::compute::seed_velocities;
 use md_core::constraint::{Shake, ShakeParams};
 use md_core::integrate::{NoseHooverNpt, NptParams};
-use md_core::{AtomStore, KspaceStyle, Result, SimBox, Simulation, UnitSystem, Vec3, V3};
+use md_core::{AtomStore, KspaceStyle, Result, SimBox, Simulation, Threads, UnitSystem, Vec3, V3};
 use md_kspace::Pppm;
 use md_potentials::LjCharmmCoulLong;
 use rand::rngs::StdRng;
@@ -185,7 +185,17 @@ pub fn positions(scale: usize, seed: u64) -> (SimBox, Vec<V3>) {
 ///
 /// Propagates engine construction failures.
 pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
-    build_with_error(scale, seed, KSPACE_ERROR)
+    build_with(scale, seed, Threads::from_env())
+}
+
+/// Builds the runnable deck with an explicit threading knob (CHARMM pair
+/// kernel, neighbor builds, and the PPPM solver all thread).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulation> {
+    build_full(scale, seed, KSPACE_ERROR, threads)
 }
 
 /// Builds the deck with an explicit k-space error threshold (the paper's
@@ -195,6 +205,10 @@ pub fn build(scale: usize, seed: u64) -> Result<Simulation> {
 ///
 /// Propagates engine construction failures.
 pub fn build_with_error(scale: usize, seed: u64, kspace_error: f64) -> Result<Simulation> {
+    build_full(scale, seed, kspace_error, Threads::from_env())
+}
+
+fn build_full(scale: usize, seed: u64, kspace_error: f64, threads: Threads) -> Result<Simulation> {
     let (bx, mut atoms, shake) = assemble(scale, seed);
     let units = UnitSystem::real();
     seed_velocities(&mut atoms, &units, TEMPERATURE, seed);
@@ -216,7 +230,8 @@ pub fn build_with_error(scale: usize, seed: u64, kspace_error: f64) -> Result<Si
     pair.set_g_ewald(pppm.g_ewald());
 
     Simulation::builder(bx, atoms, units)
-        .pair(Box::new(pair))
+        .pair(crate::wrap_pair(pair, threads)?)
+        .threads(threads)
         .bond(Box::new(md_potentials::HarmonicBond::new(&[
             (300.0, 1.166), // chain backbone (zigzag: sqrt(1.0² + 0.6²))
             (450.0, R_OH),  // water O-H (SHAKE keeps it rigid; term is benign)

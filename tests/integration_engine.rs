@@ -2,9 +2,16 @@
 //! long-range solvers working together on the real benchmark decks.
 
 use md_core::math::erfc;
-use md_core::{KspaceStyle, SimBox, Vec3, V3};
+use md_core::{KspaceStyle, SimBox, Threads, Vec3, V3};
 use md_kspace::{Ewald, Pppm};
-use md_workloads::{build_deck, Benchmark};
+use md_workloads::{build_deck, build_deck_with, Benchmark};
+
+/// Relative energy-drift bound for the truncated (unshifted) LJ melt under
+/// NVE — the drift comes from pairs crossing the cutoff, as in LAMMPS. The
+/// serial engine holds this bound over hundreds of steps; the threaded
+/// engine must hold the SAME bound (threading reorders reductions, it must
+/// not change the physics).
+const LJ_NVE_DRIFT_BOUND: f64 = 2e-2;
 
 /// NVE energy conservation on the actual 32k LJ deck over a longer window.
 #[test]
@@ -16,7 +23,26 @@ fn lj_deck_conserves_energy_over_100_steps() {
     deck.simulation.run(100).unwrap();
     let e1 = deck.simulation.thermo().total_energy();
     let rel = ((e1 - e0) / e0).abs();
-    assert!(rel < 2e-2, "energy drift {rel} over 100 steps");
+    assert!(
+        rel < LJ_NVE_DRIFT_BOUND,
+        "energy drift {rel} over 100 steps"
+    );
+}
+
+/// The same conservation bound must survive a LONG window on the threaded
+/// engine: 1000 NVE steps of the 32k LJ melt on 4 fast-mode threads.
+#[test]
+fn threaded_lj_deck_conserves_energy_over_1000_steps() {
+    let mut deck = build_deck_with(Benchmark::Lj, 1, 11, Threads::fast(4)).unwrap();
+    deck.simulation.run(20).unwrap();
+    let e0 = deck.simulation.thermo().total_energy();
+    deck.simulation.run(1000).unwrap();
+    let e1 = deck.simulation.thermo().total_energy();
+    let rel = ((e1 - e0) / e0).abs();
+    assert!(
+        rel < LJ_NVE_DRIFT_BOUND,
+        "threaded energy drift {rel} over 1000 steps"
+    );
 }
 
 /// The chain deck's Langevin thermostat drags the melt toward T* = 1.0: the
