@@ -1,0 +1,121 @@
+//! md-resilience overhead guard: a run that is merely *prepared* to recover
+//! — watchdog checks every step, checkpointing disabled or not due — must
+//! cost at most 2% over a bare run (the same bar md-observe holds its
+//! disabled hooks to). Separately measures the real prices you pay when
+//! resilience does fire: a full in-memory snapshot (`save_state`) and a
+//! checkpoint encode, reported (and amortized at the default snapshot
+//! cadence) in the JSON but not guarded — snapshot cadence is a knob the
+//! operator trades against recovery granularity.
+//!
+//! Results are also written to `BENCH_resilience.json` at the workspace
+//! root so runs can be compared across hosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::Threads;
+use md_resilience::{Checkpoint, Watchdog, WatchdogConfig};
+use md_workloads::{build_deck_with, Benchmark};
+use std::time::{Duration, Instant};
+
+/// Tolerated checkpoint-disabled resilience overhead (the watchdog check
+/// that runs every step) as a fraction of one engine step.
+const MAX_OVERHEAD_FRACTION: f64 = 0.02;
+
+/// Default snapshot cadence the amortized guard assumes (matches
+/// `RecoveryPolicy::default().snapshot_every`).
+const SNAPSHOT_EVERY: f64 = 10.0;
+
+fn time_per_iter(iters: u64, mut body: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    t0.elapsed() / iters.max(1) as u32
+}
+
+fn guard_resilience_overhead(c: &mut Criterion) {
+    let mut deck = build_deck_with(Benchmark::Lj, 1, 3, Threads::serial()).expect("deck builds");
+    deck.simulation.run(5).expect("warmup");
+
+    // Bare step cost.
+    let step = time_per_iter(30, || {
+        deck.simulation.run(1).expect("step runs");
+    });
+
+    // Per-step watchdog check (every threshold class enabled).
+    let mut dog = Watchdog::new(WatchdogConfig::default());
+    dog.check(&deck.simulation); // prime the displacement reference
+    let check = time_per_iter(50, || {
+        let events = dog.check(&deck.simulation);
+        assert!(events.is_empty(), "healthy deck: {events:?}");
+    });
+
+    // Snapshot and checkpoint-encode costs (paid only at cadence).
+    let save = time_per_iter(20, || {
+        std::hint::black_box(deck.simulation.save_state());
+    });
+    let encode = time_per_iter(20, || {
+        std::hint::black_box(Checkpoint::capture(&deck, 3).encode());
+    });
+
+    let fraction = check.as_secs_f64() / step.as_secs_f64().max(1e-12);
+    let amortized =
+        (check.as_secs_f64() + save.as_secs_f64() / SNAPSHOT_EVERY) / step.as_secs_f64().max(1e-12);
+    println!(
+        "resilience_guard: step {:.1} us, watchdog check {:.1} us ({:.3}% of a step, \
+         budget {:.0}%), snapshot {:.1} us, checkpoint encode {:.1} us \
+         (snapshotting every {SNAPSHOT_EVERY} steps would add {:.3}% total, unguarded)",
+        step.as_secs_f64() * 1e6,
+        check.as_secs_f64() * 1e6,
+        fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0,
+        save.as_secs_f64() * 1e6,
+        encode.as_secs_f64() * 1e6,
+        amortized * 100.0,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"lj\",\n  \"step_s\": {:.6e},\n  \
+         \"watchdog_check_s\": {:.6e},\n  \"save_state_s\": {:.6e},\n  \
+         \"checkpoint_encode_s\": {:.6e},\n  \"snapshot_every\": {SNAPSHOT_EVERY},\n  \
+         \"watchdog_overhead_fraction\": {fraction:.6},\n  \
+         \"snapshotting_overhead_fraction\": {amortized:.6},\n  \
+         \"overhead_budget\": {MAX_OVERHEAD_FRACTION}\n}}\n",
+        step.as_secs_f64(),
+        check.as_secs_f64(),
+        save.as_secs_f64(),
+        encode.as_secs_f64(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("bench_resilience: wrote {out}"),
+        Err(e) => println!("bench_resilience: cannot write {out}: {e}"),
+    }
+
+    assert!(
+        fraction <= MAX_OVERHEAD_FRACTION,
+        "checkpoint-disabled resilience overhead (watchdog check) {:.3}% of a step \
+         (budget {:.0}%)",
+        fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0
+    );
+
+    // Criterion entries so regressions show in reports.
+    let mut group = c.benchmark_group("resilience");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    group.bench_function("watchdog_check", |b| {
+        b.iter(|| dog.check(&deck.simulation).len())
+    });
+    group.bench_function("save_state", |b| {
+        b.iter(|| deck.simulation.save_state().len())
+    });
+    group.bench_function("checkpoint_encode", |b| {
+        b.iter(|| Checkpoint::capture(&deck, 3).encode().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, guard_resilience_overhead);
+criterion_main!(benches);

@@ -56,6 +56,14 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A serialized state blob failed validation (truncation, bad magic,
+    /// version or checksum mismatch, inconsistent lengths).
+    CorruptState {
+        /// What was being decoded (e.g. `checkpoint`, `neighbor list`).
+        what: &'static str,
+        /// Human-readable reason.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -87,6 +95,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
+            }
+            CoreError::CorruptState { what, detail } => {
+                write!(f, "corrupt {what} state: {detail}")
             }
         }
     }

@@ -94,6 +94,19 @@ pub trait Fix: Send {
 
     /// Adds this fix's forces for the current step.
     fn post_force(&mut self, sys: &PairSystem<'_>, f: &mut [V3]);
+
+    /// Appends the fix's mutable state (RNG streams, accumulators) for a
+    /// checkpoint. Stateless fixes write nothing.
+    fn state_save(&self, _w: &mut crate::wire::Writer) {}
+
+    /// Restores state written by [`Fix::state_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CorruptState`] on a malformed blob.
+    fn state_load(&mut self, _r: &mut crate::wire::Reader<'_>) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// A pairwise interaction potential (LAMMPS `pair_style`).
@@ -132,6 +145,19 @@ pub trait PairStyle: Send {
     /// per-worker spans (one lane per thread, showing the fork/join shape
     /// of the pair kernel). Serial styles ignore it.
     fn set_recorder(&mut self, _recorder: md_observe::Recorder) {}
+
+    /// Appends the style's mutable state (e.g. granular contact history)
+    /// for a checkpoint. History-free styles write nothing.
+    fn state_save(&self, _w: &mut crate::wire::Writer) {}
+
+    /// Restores state written by [`PairStyle::state_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CorruptState`] on a malformed blob.
+    fn state_load(&mut self, _r: &mut crate::wire::Reader<'_>) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// A two-body bonded potential (LAMMPS `bond_style`).
@@ -210,6 +236,15 @@ pub trait KspaceStyle: Send {
     /// Sets the shared-memory thread-team configuration (see
     /// [`crate::Threads`]). Solvers without threaded kernels ignore it.
     fn set_threads(&mut self, _threads: crate::Threads) {}
+
+    /// Tightens the solver's accuracy target one notch (recovery-ladder
+    /// mitigation for k-space-induced force errors). Returns `true` if the
+    /// target changed; the caller must re-run [`KspaceStyle::setup`] for the
+    /// new target to take effect. Solvers without an accuracy knob return
+    /// `false`.
+    fn tighten_accuracy(&mut self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

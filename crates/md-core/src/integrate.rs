@@ -8,8 +8,10 @@
 
 use crate::atoms::AtomStore;
 use crate::compute::{pressure, temperature};
+use crate::error::{CoreError, Result};
 use crate::simbox::SimBox;
 use crate::units::UnitSystem;
+use crate::wire;
 
 /// Per-step data the driver feeds to an integrator.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +48,19 @@ pub trait Integrator: Send {
         bx: &mut SimBox,
         ctx: &IntegrateContext<'_>,
     );
+
+    /// Appends the integrator's mutable state (thermostat friction,
+    /// barostat strain rate) for a checkpoint. NVE writes nothing.
+    fn state_save(&self, _w: &mut wire::Writer) {}
+
+    /// Restores state written by [`Integrator::state_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptState`] on a malformed blob.
+    fn state_load(&mut self, _r: &mut wire::Reader<'_>) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Plain velocity-Verlet NVE integration (`fix nve`).
@@ -138,18 +153,28 @@ pub struct NoseHooverNpt {
 impl NoseHooverNpt {
     /// Creates an NPT integrator with the given set points.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a damping time or target temperature is non-positive.
-    pub fn new(params: NptParams) -> Self {
-        assert!(params.t_damp > 0.0, "Tdamp must be positive");
-        assert!(params.p_damp > 0.0, "Pdamp must be positive");
-        assert!(params.t_target > 0.0, "target temperature must be positive");
-        NoseHooverNpt {
+    /// Returns [`CoreError::InvalidParameter`] if a damping time or the
+    /// target temperature is non-positive or non-finite.
+    pub fn new(params: NptParams) -> Result<Self> {
+        for (name, v) in [
+            ("Tdamp", params.t_damp),
+            ("Pdamp", params.p_damp),
+            ("t_target", params.t_target),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name,
+                    reason: format!("{name} {v} must be positive and finite"),
+                });
+            }
+        }
+        Ok(NoseHooverNpt {
             params,
             xi: 0.0,
             eps_dot: 0.0,
-        }
+        })
     }
 
     /// The configured set points.
@@ -228,6 +253,17 @@ impl Integrator for NoseHooverNpt {
         for v in atoms.v_mut() {
             *v *= scale;
         }
+    }
+
+    fn state_save(&self, w: &mut wire::Writer) {
+        w.f64(self.xi);
+        w.f64(self.eps_dot);
+    }
+
+    fn state_load(&mut self, r: &mut wire::Reader<'_>) -> Result<()> {
+        self.xi = r.f64()?;
+        self.eps_dot = r.f64()?;
+        Ok(())
     }
 }
 
@@ -311,7 +347,8 @@ mod tests {
             t_damp: 0.5,
             p_target: 0.5,
             p_damp: 5.0,
-        });
+        })
+        .unwrap();
         // Ideal gas (no forces): thermostat should cool 2.0 -> ~1.0.
         for _ in 0..4000 {
             let ctx = IntegrateContext {
@@ -354,7 +391,8 @@ mod tests {
             t_damp: 0.5,
             p_target: 0.2, // ideal-gas pressure here is 512/27000 ≈ 0.019
             p_damp: 2.0,
-        });
+        })
+        .unwrap();
         for _ in 0..3000 {
             let ctx = IntegrateContext {
                 dt: 0.005,
@@ -373,13 +411,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Tdamp")]
     fn npt_rejects_bad_damping() {
-        let _ = NoseHooverNpt::new(NptParams {
+        let err = NoseHooverNpt::new(NptParams {
             t_target: 1.0,
             t_damp: 0.0,
             p_target: 1.0,
             p_damp: 1.0,
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidParameter { name: "Tdamp", .. }
+        ));
+    }
+
+    #[test]
+    fn npt_state_round_trips_bitwise() {
+        let params = NptParams {
+            t_target: 1.0,
+            t_damp: 0.5,
+            p_target: 0.5,
+            p_damp: 5.0,
+        };
+        let mut a = NoseHooverNpt::new(params).unwrap();
+        a.xi = 0.123456789;
+        a.eps_dot = -3.2e-7;
+        let mut w = wire::Writer::new();
+        Integrator::state_save(&a, &mut w);
+        let bytes = w.into_bytes();
+        let mut b = NoseHooverNpt::new(params).unwrap();
+        let mut r = wire::Reader::new(&bytes, "npt");
+        Integrator::state_load(&mut b, &mut r).unwrap();
+        assert_eq!(b.xi.to_bits(), a.xi.to_bits());
+        assert_eq!(b.eps_dot.to_bits(), a.eps_dot.to_bits());
     }
 }

@@ -48,6 +48,7 @@ pub mod threads;
 pub mod units;
 pub mod vec3;
 pub mod velocity;
+pub mod wire;
 
 pub use atoms::{Angle, AtomStore, Bond, Dihedral};
 pub use compute::{kinetic_energy, remove_drift, temperature, ThermoState};

@@ -18,8 +18,9 @@
 //! count — no `deterministic` toggle is needed here, unlike the
 //! floating-point reductions in `md-potentials::threaded` and `md-kspace`.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::simbox::SimBox;
+use crate::wire;
 use crate::V3;
 
 /// Whether each pair is listed once (half) or from both atoms (full).
@@ -416,6 +417,77 @@ impl NeighborList {
         };
         self.stats.neighbors_per_atom = per_atom(self.neigh.len() as f64);
         self.stats.neighbors_within_cutoff = per_atom(within_cut as f64);
+        Ok(())
+    }
+
+    /// Appends the list's full dynamic state for a checkpoint: the flattened
+    /// rows, the reference positions of the rebuild trigger, and the
+    /// statistics. `x_at_build` is what makes resume bitwise-faithful — a
+    /// fresh rebuild at restore time would reset the displacement trigger
+    /// and shift every subsequent rebuild, changing summation orders.
+    pub fn state_save(&self, w: &mut wire::Writer) {
+        w.usizes(&self.offsets);
+        w.u32s(&self.neigh);
+        w.v3s(&self.x_at_build);
+        w.usize(self.stats.builds);
+        w.usize(self.stats.skipped_checks);
+        w.usize(self.stats.pairs);
+        w.usize(self.stats.pairs_within_cutoff);
+        w.f64(self.stats.neighbors_per_atom);
+        w.f64(self.stats.neighbors_within_cutoff);
+        w.usize(self.stats.cells);
+    }
+
+    /// Restores state written by [`NeighborList::state_save`] onto a list
+    /// created with the same cutoff/skin/kind (the deck rebuild provides
+    /// those).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptState`] on a malformed or internally
+    /// inconsistent blob.
+    pub fn state_load(&mut self, r: &mut wire::Reader<'_>) -> Result<()> {
+        let offsets = r.usizes()?;
+        let neigh = r.u32s()?;
+        let x_at_build = r.v3s()?;
+        let corrupt = |detail: String| CoreError::CorruptState {
+            what: "neighbor list",
+            detail,
+        };
+        if offsets.first() != Some(&0) {
+            return Err(corrupt("offsets must start at 0".to_string()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("offsets must be monotone".to_string()));
+        }
+        if *offsets.last().expect("nonempty") != neigh.len() {
+            return Err(corrupt(format!(
+                "offsets cover {} entries but {} are stored",
+                offsets.last().expect("nonempty"),
+                neigh.len()
+            )));
+        }
+        if x_at_build.len() + 1 != offsets.len() {
+            return Err(corrupt(format!(
+                "{} reference positions for {} atoms",
+                x_at_build.len(),
+                offsets.len() - 1
+            )));
+        }
+        let natoms = x_at_build.len() as u32;
+        if neigh.iter().any(|&j| j >= natoms) {
+            return Err(corrupt("neighbor index out of range".to_string()));
+        }
+        self.offsets = offsets;
+        self.neigh = neigh;
+        self.x_at_build = x_at_build;
+        self.stats.builds = r.usize()?;
+        self.stats.skipped_checks = r.usize()?;
+        self.stats.pairs = r.usize()?;
+        self.stats.pairs_within_cutoff = r.usize()?;
+        self.stats.neighbors_per_atom = r.f64()?;
+        self.stats.neighbors_within_cutoff = r.f64()?;
+        self.stats.cells = r.usize()?;
         Ok(())
     }
 }

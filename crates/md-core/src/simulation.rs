@@ -27,6 +27,7 @@ use crate::task::{TaskKind, TaskLedger};
 use crate::threads::Threads;
 use crate::units::UnitSystem;
 use crate::vec3::Vec3;
+use crate::wire;
 use crate::V3;
 use md_observe::{Recorder, StepSample, NUM_TASKS};
 use std::time::Instant;
@@ -491,6 +492,253 @@ impl Simulation {
             neighbor_builds: self.neighbor.as_ref().map_or(0, |n| n.stats().builds) - builds_before,
         })
     }
+
+    /// Relative energy drift at the most recent thermo sample (zero until
+    /// the recorder has observed at least one sample).
+    pub fn last_energy_drift(&self) -> f64 {
+        self.last_drift
+    }
+
+    /// Replaces the timestep (recovery-ladder mitigation: shrink `dt` after
+    /// a numerical-health violation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `dt` is positive and
+    /// finite.
+    pub fn set_dt(&mut self, dt: f64) -> Result<()> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "dt",
+                reason: format!("timestep {dt} must be positive and finite"),
+            });
+        }
+        self.dt = dt;
+        Ok(())
+    }
+
+    /// Forces a neighbor-list rebuild at the current positions, regardless
+    /// of the displacement trigger (recovery-ladder mitigation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates neighbor-build failures.
+    pub fn force_neighbor_rebuild(&mut self) -> Result<()> {
+        self.refresh_neighbors(true)?;
+        Ok(())
+    }
+
+    /// Tightens the long-range solver's accuracy target one notch and
+    /// re-runs its setup (recovery-ladder mitigation). Returns `false` if no
+    /// solver is configured or it has no accuracy knob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver setup failures at the tightened target.
+    pub fn tighten_kspace(&mut self) -> Result<bool> {
+        let Some(ks) = self.kspace.as_mut() else {
+            return Ok(false);
+        };
+        if !ks.tighten_accuracy() {
+            return Ok(false);
+        }
+        ks.setup(&self.bx, self.atoms.charges())?;
+        Ok(true)
+    }
+
+    /// Serializes the simulation's full dynamic state (everything the
+    /// timestep loop mutates) into a self-contained byte blob.
+    ///
+    /// The blob captures positions, velocities, forces, image flags, the
+    /// box, step counter, timestep, energy accumulators, the thermo log, the
+    /// task ledger, the neighbor list (including its rebuild-trigger
+    /// reference positions), and the opaque per-component state of the
+    /// integrator, fixes, and pair style (RNG streams, barostat internals,
+    /// granular contact history). Static configuration — topology, masses,
+    /// charges, force-field parameters — is *not* stored: a restore target
+    /// is expected to be rebuilt from the same deck recipe first, then
+    /// overlaid with [`Simulation::load_state`]. Together the two reproduce
+    /// an uninterrupted run bitwise.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = wire::Writer::new();
+        w.u64(self.step);
+        w.f64(self.dt);
+        w.v3(self.bx.lo());
+        w.v3(self.bx.hi());
+        for d in 0..3 {
+            w.bool(self.bx.is_periodic(d));
+        }
+        w.v3s(self.atoms.x());
+        w.v3s(self.atoms.v());
+        w.v3s(self.atoms.f());
+        w.i32x3s(self.atoms.images());
+        w.f64(self.energy.evdwl);
+        w.f64(self.energy.ecoul);
+        w.f64(self.energy.virial);
+        match self.energy_first {
+            Some(e) => {
+                w.bool(true);
+                w.f64(e);
+            }
+            None => w.bool(false),
+        }
+        w.f64(self.last_drift);
+        w.u64(self.last_rebuild_step);
+        w.usize(self.thermo_log.len());
+        for row in &self.thermo_log {
+            w.u64(row.step);
+            w.f64(row.temperature);
+            w.f64(row.kinetic);
+            w.f64(row.potential);
+            w.f64(row.pressure);
+            w.f64(row.volume);
+        }
+        self.ledger.state_save(&mut w);
+        // Per-component state goes into length-prefixed sub-blobs so each
+        // component's reader can be checked for exact exhaustion.
+        let sub_blob = |f: &dyn Fn(&mut wire::Writer)| {
+            let mut sub = wire::Writer::new();
+            f(&mut sub);
+            sub.into_bytes()
+        };
+        match &self.neighbor {
+            Some(nl) => {
+                w.bool(true);
+                w.blob(&sub_blob(&|sub| nl.state_save(sub)));
+            }
+            None => w.bool(false),
+        }
+        w.blob(&sub_blob(&|sub| self.integrator.state_save(sub)));
+        w.usize(self.fixes.len());
+        for fix in &self.fixes {
+            w.blob(&sub_blob(&|sub| fix.state_save(sub)));
+        }
+        match &self.pair {
+            Some(p) => {
+                w.bool(true);
+                w.blob(&sub_blob(&|sub| p.state_save(sub)));
+            }
+            None => w.bool(false),
+        }
+        w.into_bytes()
+    }
+
+    /// Restores state written by [`Simulation::save_state`] onto a
+    /// simulation freshly rebuilt from the same deck recipe (same
+    /// benchmark, scale, seed, and thread count).
+    ///
+    /// On success the simulation continues bitwise-identically to the run
+    /// that produced the blob. On error the simulation may be partially
+    /// overwritten and must be discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptState`] if the blob is malformed,
+    /// truncated, carries trailing bytes, or disagrees with this
+    /// simulation's structure (atom count, component population).
+    pub fn load_state(&mut self, data: &[u8]) -> Result<()> {
+        let mut r = wire::Reader::new(data, "simulation");
+        let corrupt = |detail: String| CoreError::CorruptState {
+            what: "simulation",
+            detail,
+        };
+        self.step = r.u64()?;
+        let dt = r.f64()?;
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(corrupt(format!("timestep {dt} is not positive and finite")));
+        }
+        self.dt = dt;
+        let lo = r.v3()?;
+        let hi = r.v3()?;
+        let periodic = [r.bool()?, r.bool()?, r.bool()?];
+        self.bx = SimBox::new(lo, hi)?.with_periodicity(periodic[0], periodic[1], periodic[2]);
+        let n = self.atoms.len();
+        let check_len = |what: &str, len: usize| {
+            if len == n {
+                Ok(())
+            } else {
+                Err(corrupt(format!("{what} has {len} entries for {n} atoms")))
+            }
+        };
+        let x = r.v3s()?;
+        check_len("position array", x.len())?;
+        let v = r.v3s()?;
+        check_len("velocity array", v.len())?;
+        let f = r.v3s()?;
+        check_len("force array", f.len())?;
+        let images = r.i32x3s()?;
+        check_len("image array", images.len())?;
+        self.atoms.x_mut().copy_from_slice(&x);
+        self.atoms.v_mut().copy_from_slice(&v);
+        self.atoms.f_mut().copy_from_slice(&f);
+        self.atoms.images_mut().copy_from_slice(&images);
+        self.forces = f;
+        self.energy = EnergyVirial {
+            evdwl: r.f64()?,
+            ecoul: r.f64()?,
+            virial: r.f64()?,
+        };
+        self.energy_first = if r.bool()? { Some(r.f64()?) } else { None };
+        self.last_drift = r.f64()?;
+        self.last_rebuild_step = r.u64()?;
+        let rows = r.usize()?;
+        self.thermo_log = Vec::new();
+        for _ in 0..rows {
+            self.thermo_log.push(ThermoState {
+                step: r.u64()?,
+                temperature: r.f64()?,
+                kinetic: r.f64()?,
+                potential: r.f64()?,
+                pressure: r.f64()?,
+                volume: r.f64()?,
+            });
+        }
+        self.ledger.state_load(&mut r)?;
+        let sub = |blob: &[u8],
+                   what: &'static str,
+                   apply: &mut dyn FnMut(&mut wire::Reader<'_>) -> Result<()>|
+         -> Result<()> {
+            let mut sr = wire::Reader::new(blob, what);
+            apply(&mut sr)?;
+            sr.expect_exhausted()
+        };
+        let has_neighbor = r.bool()?;
+        if has_neighbor != self.neighbor.is_some() {
+            return Err(corrupt(
+                "neighbor-list presence disagrees with this simulation".to_string(),
+            ));
+        }
+        if has_neighbor {
+            let blob = r.blob()?;
+            let nl = self.neighbor.as_mut().expect("checked above");
+            sub(blob, "neighbor list", &mut |sr| nl.state_load(sr))?;
+        }
+        let blob = r.blob()?;
+        sub(blob, "integrator", &mut |sr| self.integrator.state_load(sr))?;
+        let nfixes = r.usize()?;
+        if nfixes != self.fixes.len() {
+            return Err(corrupt(format!(
+                "{nfixes} fix blobs for {} configured fixes",
+                self.fixes.len()
+            )));
+        }
+        for fix in &mut self.fixes {
+            let blob = r.blob()?;
+            sub(blob, "fix", &mut |sr| fix.state_load(sr))?;
+        }
+        let has_pair = r.bool()?;
+        if has_pair != self.pair.is_some() {
+            return Err(corrupt(
+                "pair-style presence disagrees with this simulation".to_string(),
+            ));
+        }
+        if has_pair {
+            let blob = r.blob()?;
+            let p = self.pair.as_mut().expect("checked above");
+            sub(blob, "pair style", &mut |sr| p.state_load(sr))?;
+        }
+        r.expect_exhausted()
+    }
 }
 
 /// Builder for [`Simulation`] (non-consuming configuration, consuming build).
@@ -637,7 +885,13 @@ impl SimulationBuilder {
     /// accommodate the interaction range, or a style's setup fails.
     pub fn build(self) -> Result<Simulation> {
         self.atoms.validate()?;
-        if self.atoms.masses_by_type().is_empty() && !self.atoms.is_empty() {
+        if self.atoms.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "atoms",
+                reason: "simulation has no atoms".to_string(),
+            });
+        }
+        if self.atoms.masses_by_type().is_empty() {
             return Err(CoreError::InvalidParameter {
                 name: "masses",
                 reason: "mass table is empty; call AtomStore::set_masses".to_string(),
@@ -650,9 +904,32 @@ impl SimulationBuilder {
                 reason: format!("timestep {dt} must be positive and finite"),
             });
         }
+        if !(self.skin.is_finite() && self.skin >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "skin",
+                reason: format!(
+                    "neighbor skin {} must be non-negative and finite",
+                    self.skin
+                ),
+            });
+        }
         let neighbor = match &self.pair {
             Some(p) => {
-                let mut nl = NeighborList::new(p.cutoff(), self.skin, p.list_kind());
+                let cutoff = p.cutoff();
+                if !(cutoff > 0.0 && cutoff.is_finite()) {
+                    return Err(CoreError::InvalidParameter {
+                        name: "cutoff",
+                        reason: format!(
+                            "pair style `{}` cutoff {cutoff} must be positive and finite",
+                            p.name()
+                        ),
+                    });
+                }
+                // Reject a list range that exceeds half the box up front,
+                // with a typed error, rather than deep inside the first
+                // cell-list build.
+                self.bx.check_interaction_range(cutoff + self.skin)?;
+                let mut nl = NeighborList::new(cutoff, self.skin, p.list_kind());
                 nl.set_threads(self.threads.count);
                 Some(nl)
             }

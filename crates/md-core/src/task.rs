@@ -196,6 +196,30 @@ impl TaskLedger {
     pub fn iter(&self) -> impl Iterator<Item = (TaskKind, f64)> + '_ {
         TaskKind::ALL.iter().map(move |&t| (t, self.seconds(t)))
     }
+
+    /// Appends the ledger for a checkpoint (seconds then counts, in
+    /// [`TaskKind::ALL`] order).
+    pub fn state_save(&self, w: &mut crate::wire::Writer) {
+        w.f64s(&self.seconds);
+        w.u64s(&self.counts);
+    }
+
+    /// Restores a ledger written by [`TaskLedger::state_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CorruptState`] on a malformed blob.
+    pub fn state_load(&mut self, r: &mut crate::wire::Reader<'_>) -> crate::error::Result<()> {
+        let corrupt = |n: usize| crate::CoreError::CorruptState {
+            what: "task ledger",
+            detail: format!("expected 8 slots, found {n}"),
+        };
+        let seconds = r.f64s()?;
+        self.seconds = seconds.try_into().map_err(|v: Vec<f64>| corrupt(v.len()))?;
+        let counts = r.u64s()?;
+        self.counts = counts.try_into().map_err(|v: Vec<u64>| corrupt(v.len()))?;
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for TaskLedger {

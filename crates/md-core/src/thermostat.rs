@@ -6,8 +6,10 @@
 //! ensemble at the target temperature.
 
 use crate::atoms::AtomStore;
+use crate::error::{CoreError, Result};
 use crate::units::UnitSystem;
 use crate::vec3::Vec3;
+use crate::wire;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,17 +25,28 @@ impl Langevin {
     /// Creates a thermostat targeting temperature `t_target` with relaxation
     /// time `damp`, seeded deterministically.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t_target < 0` or `damp <= 0`.
-    pub fn new(t_target: f64, damp: f64, seed: u64) -> Self {
-        assert!(t_target >= 0.0, "target temperature must be non-negative");
-        assert!(damp > 0.0, "damping time must be positive");
-        Langevin {
+    /// Returns [`CoreError::InvalidParameter`] if `t_target < 0`,
+    /// `damp <= 0`, or either is non-finite.
+    pub fn new(t_target: f64, damp: f64, seed: u64) -> Result<Self> {
+        if !(t_target.is_finite() && t_target >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "t_target",
+                reason: format!("target temperature {t_target} must be non-negative and finite"),
+            });
+        }
+        if !(damp.is_finite() && damp > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "damp",
+                reason: format!("damping time {damp} must be positive and finite"),
+            });
+        }
+        Ok(Langevin {
             t_target,
             damp,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Target temperature.
@@ -91,6 +104,25 @@ impl crate::force::Fix for Langevin {
             f[i] += fr + frand;
         }
     }
+
+    fn state_save(&self, w: &mut wire::Writer) {
+        // The RNG stream is the thermostat's only mutable state; restoring
+        // it bitwise is what makes an interrupted Chain run resume on the
+        // same random-force sequence as an uninterrupted one.
+        w.u64s(&self.rng.state());
+    }
+
+    fn state_load(&mut self, r: &mut wire::Reader<'_>) -> Result<()> {
+        let s = r.u64s()?;
+        let s: [u64; 4] = s
+            .try_into()
+            .map_err(|v: Vec<u64>| CoreError::CorruptState {
+                what: "langevin",
+                detail: format!("RNG state has {} words, expected 4", v.len()),
+            })?;
+        self.rng = StdRng::from_state(s);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +149,7 @@ mod tests {
         a.set_masses(vec![1.0]);
         let u = UnitSystem::lj();
         let mut bx = SimBox::cubic(10.0);
-        let mut lang = Langevin::new(1.5, 1.0, 77);
+        let mut lang = Langevin::new(1.5, 1.0, 77).unwrap();
         let mut nve = VelocityVerlet::new();
         let dt = 0.005;
         let mut t_acc = 0.0;
@@ -151,7 +183,7 @@ mod tests {
         a.set_masses(vec![1.0]);
         let u = UnitSystem::lj();
         let mut bx = SimBox::cubic(10.0);
-        let mut lang = Langevin::new(0.0, 0.5, 1);
+        let mut lang = Langevin::new(0.0, 0.5, 1).unwrap();
         let mut nve = VelocityVerlet::new();
         for _ in 0..2000 {
             let ctx = IntegrateContext {
@@ -168,8 +200,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "damping")]
     fn rejects_zero_damp() {
-        let _ = Langevin::new(1.0, 0.0, 0);
+        let err = Langevin::new(1.0, 0.0, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CoreError::InvalidParameter { name: "damp", .. }
+        ));
+        assert!(Langevin::new(-1.0, 1.0, 0).is_err());
+        assert!(Langevin::new(f64::NAN, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn rng_state_round_trip_resumes_the_same_stream() {
+        use crate::force::Fix;
+        let mut a = Langevin::new(1.0, 0.5, 42).unwrap();
+        // Burn some draws so the stream is mid-flight.
+        for _ in 0..100 {
+            let _ = a.rng.gen::<f64>();
+        }
+        let mut w = wire::Writer::new();
+        Fix::state_save(&a, &mut w);
+        let bytes = w.into_bytes();
+        let mut b = Langevin::new(1.0, 0.5, 7).unwrap(); // different seed
+        Fix::state_load(&mut b, &mut wire::Reader::new(&bytes, "langevin")).unwrap();
+        for _ in 0..32 {
+            assert_eq!(a.rng.gen::<f64>().to_bits(), b.rng.gen::<f64>().to_bits());
+        }
+        // A malformed blob is rejected.
+        let mut w = wire::Writer::new();
+        w.u64s(&[1, 2, 3]);
+        let bad = w.into_bytes();
+        assert!(Fix::state_load(&mut b, &mut wire::Reader::new(&bad, "langevin")).is_err());
     }
 }

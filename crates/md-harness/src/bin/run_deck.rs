@@ -5,6 +5,9 @@
 //! run_deck <benchmark> [--steps N] [--scale S] [--thermo N]
 //!          [--threads T] [--deterministic]
 //!          [--dump traj.xyz] [--write-data out.data]
+//!          [--checkpoint-every N] [--checkpoint-dir DIR]
+//!          [--checkpoint-retain K] [--resume]
+//!          [--faults SPEC] [--trace out.json]
 //! ```
 //!
 //! `--threads T` runs the hot kernels (pair, neighbor build, PPPM) on `T`
@@ -12,11 +15,38 @@
 //! reductions to a fixed-chunk order so any thread count reproduces the
 //! serial trajectory bitwise. Defaults come from `MD_THREADS` /
 //! `MD_DETERMINISTIC`.
+//!
+//! ## Resilience
+//!
+//! `--checkpoint-every N` writes a checksummed checkpoint every N steps to
+//! `--checkpoint-dir` (default `checkpoints/`), keeping the newest
+//! `--checkpoint-retain` files (default 3). `--resume` restarts from the
+//! newest checkpoint in that directory; `--steps` stays the *total* step
+//! target, so a resumed run finishes exactly where an uninterrupted one
+//! would — bitwise, in deterministic mode.
+//!
+//! `--faults SPEC` injects a deterministic fault schedule (see the
+//! md-resilience grammar): engine faults (`force-flip:<atom>@<step>`) are
+//! caught by the numerical watchdog and rolled back under the recovery
+//! ladder; cluster faults (`rank-stall:<rank>@<step>`, `rank-slow`,
+//! `halo-drop`, `halo-dup`) additionally drive a modeled 8-rank virtual
+//! cluster whose per-rank lanes land in `--trace` output.
 
 use md_core::{TaskKind, Threads};
+use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+use md_observe::{chrome_trace_json, ObserveConfig, Recorder};
+use md_resilience::{
+    Checkpoint, CheckpointManager, FaultPlan, RecoveryPolicy, ResilientRunner, Watchdog,
+    WatchdogConfig,
+};
 use md_workloads::io::{write_data, AtomStyle, XyzDump};
-use md_workloads::{build_deck_with, Benchmark};
+use md_workloads::{build_deck_with, build_positions, Benchmark, Deck};
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Deck-recipe seed used by every harness run (and stamped into
+/// checkpoints, so a resume rebuilds the same deck).
+const DECK_SEED: u64 = 2022;
 
 struct Args {
     benchmark: Benchmark,
@@ -26,6 +56,12 @@ struct Args {
     threads: Threads,
     dump: Option<PathBuf>,
     write_data_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    checkpoint_dir: PathBuf,
+    checkpoint_retain: usize,
+    resume: bool,
+    faults: FaultPlan,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,7 +69,8 @@ fn parse_args() -> Result<Args, String> {
     let bench_name = args.next().ok_or_else(|| {
         "usage: run_deck <lj|chain|eam|chute|rhodo> [--steps N] [--scale S] \
          [--thermo N] [--threads T] [--deterministic] [--dump FILE] \
-         [--write-data FILE]"
+         [--write-data FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
+         [--checkpoint-retain K] [--resume] [--faults SPEC] [--trace FILE]"
             .to_string()
     })?;
     let benchmark = Benchmark::parse(&bench_name).map_err(|e| e.to_string())?;
@@ -45,6 +82,12 @@ fn parse_args() -> Result<Args, String> {
         threads: Threads::from_env(),
         dump: None,
         write_data_path: None,
+        checkpoint_every: 0,
+        checkpoint_dir: PathBuf::from("checkpoints"),
+        checkpoint_retain: 3,
+        resume: false,
+        faults: FaultPlan::default(),
+        trace: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -64,10 +107,71 @@ fn parse_args() -> Result<Args, String> {
             "--deterministic" => out.threads.deterministic = true,
             "--dump" => out.dump = Some(PathBuf::from(value("--dump")?)),
             "--write-data" => out.write_data_path = Some(PathBuf::from(value("--write-data")?)),
+            "--checkpoint-every" => {
+                out.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = PathBuf::from(value("--checkpoint-dir")?);
+            }
+            "--checkpoint-retain" => {
+                out.checkpoint_retain = value("--checkpoint-retain")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--resume" => out.resume = true,
+            "--faults" => {
+                out.faults = FaultPlan::parse(&value("--faults")?).map_err(|e| e.to_string())?;
+            }
+            "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(out)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+/// Builds the deck fresh, or restores it from the newest checkpoint when
+/// `--resume` is given (falling back to a fresh build if none exists yet,
+/// so a resume-first invocation still works).
+fn obtain_deck(args: &Args) -> Deck {
+    if args.resume {
+        let mgr = CheckpointManager::new(&args.checkpoint_dir, 0, 0)
+            .unwrap_or_else(|e| fail(format!("checkpoint dir: {e}")));
+        match mgr.latest() {
+            Ok(Some(path)) => {
+                let ckpt = Checkpoint::read_from(&path)
+                    .unwrap_or_else(|e| fail(format!("cannot resume: {e}")));
+                if ckpt.header.benchmark != args.benchmark {
+                    fail(format!(
+                        "cannot resume: checkpoint is for {}, requested {}",
+                        ckpt.header.benchmark, args.benchmark
+                    ));
+                }
+                let deck = ckpt
+                    .restore()
+                    .unwrap_or_else(|e| fail(format!("cannot resume: {e}")));
+                println!(
+                    "resumed from {} at step {}",
+                    path.display(),
+                    deck.simulation.step_index()
+                );
+                return deck;
+            }
+            Ok(None) => eprintln!(
+                "no checkpoint in {}; starting fresh",
+                args.checkpoint_dir.display()
+            ),
+            Err(e) => fail(format!("cannot list checkpoints: {e}")),
+        }
+    }
+    build_deck_with(args.benchmark, args.scale, DECK_SEED, args.threads)
+        .unwrap_or_else(|e| fail(format!("deck construction failed: {e}")))
 }
 
 fn main() {
@@ -78,13 +182,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut deck = match build_deck_with(args.benchmark, args.scale, 2022, args.threads) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("deck construction failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut deck = obtain_deck(&args);
+    let resilient =
+        args.checkpoint_every > 0 || args.resume || !args.faults.engine_faults().is_empty();
+
     println!(
         "running {} at scale {} ({} atoms), {} steps, {}",
         args.benchmark,
@@ -93,29 +194,79 @@ fn main() {
         args.steps,
         args.threads
     );
-    let mut dump = args.dump.as_deref().map(|p| {
-        XyzDump::create(p).unwrap_or_else(|e| {
-            eprintln!("cannot create dump: {e}");
-            std::process::exit(1);
-        })
-    });
-    println!("{}", deck.simulation.thermo());
-    let mut done = 0u64;
-    while done < args.steps {
-        let burst = args.thermo.max(1).min(args.steps - done);
-        if let Err(e) = deck.simulation.run(burst) {
-            eprintln!("step failed: {e}");
-            std::process::exit(1);
+    let mut dump = args
+        .dump
+        .as_deref()
+        .map(|p| XyzDump::create(p).unwrap_or_else(|e| fail(format!("cannot create dump: {e}"))));
+
+    // Health/fault counters and trace lanes need an enabled recorder.
+    let mut cfg = ObserveConfig::from_env();
+    cfg.enabled = cfg.enabled || resilient || !args.faults.is_empty() || args.trace.is_some();
+    let recorder = Recorder::new(cfg);
+    if recorder.is_enabled() {
+        deck.simulation.set_recorder(recorder.clone());
+    }
+
+    let mut runner = resilient.then(|| {
+        let policy = RecoveryPolicy {
+            snapshot_every: if args.checkpoint_every > 0 {
+                args.checkpoint_every
+            } else {
+                10
+            },
+            ..RecoveryPolicy::default()
+        };
+        let mut r = ResilientRunner::new(
+            policy,
+            Watchdog::new(WatchdogConfig::default()),
+            args.faults.clone(),
+        );
+        if args.checkpoint_every > 0 {
+            let mgr = CheckpointManager::new(
+                &args.checkpoint_dir,
+                args.checkpoint_every,
+                args.checkpoint_retain,
+            )
+            .unwrap_or_else(|e| fail(format!("checkpoint dir: {e}")));
+            r = r.with_checkpoints(mgr, DECK_SEED);
         }
-        done += burst;
+        r
+    });
+
+    println!("{}", deck.simulation.thermo());
+    let mut violations = 0u64;
+    let mut rollbacks = 0u32;
+    let mut checkpoints_written = 0u64;
+    // `--steps` is the total target, so a resumed run finishes the same
+    // trajectory an uninterrupted one would.
+    while deck.simulation.step_index() < args.steps {
+        let burst = args
+            .thermo
+            .max(1)
+            .min(args.steps - deck.simulation.step_index());
+        if let Some(runner) = runner.as_mut() {
+            match runner.run(&mut deck, burst) {
+                Ok(summary) => {
+                    violations += summary.violations;
+                    rollbacks += summary.rollbacks;
+                    checkpoints_written += summary.checkpoints_written;
+                    for m in &summary.mitigations {
+                        println!("  [recovery] rolled back, mitigation: {m}");
+                    }
+                }
+                Err(e) => fail(format!("unrecoverable: {e}")),
+            }
+        } else if let Err(e) = deck.simulation.run(burst) {
+            fail(format!("step failed: {e}"));
+        }
         println!("{}", deck.simulation.thermo());
         if let Some(d) = dump.as_mut() {
             if let Err(e) = d.write_frame(deck.simulation.atoms(), deck.simulation.step_index()) {
-                eprintln!("dump failed: {e}");
-                std::process::exit(1);
+                fail(format!("dump failed: {e}"));
             }
         }
     }
+
     println!("\ntask breakdown (Table 1 taxonomy):");
     let ledger = deck.simulation.ledger();
     for task in TaskKind::ALL {
@@ -131,6 +282,46 @@ fn main() {
             s.builds, s.neighbors_per_atom, s.neighbors_within_cutoff
         );
     }
+
+    if resilient {
+        println!(
+            "resilience: {violations} violation(s), {rollbacks} rollback(s), \
+             {checkpoints_written} checkpoint(s) written"
+        );
+        for counter in [
+            "health_nonfinite_force",
+            "health_nonfinite_state",
+            "health_displacement_spike",
+            "health_energy_drift",
+            "health_temperature_spike",
+            "health_escaped_atom",
+            "health_step_error",
+            "recovery_rollback",
+            "recovery_mitigation",
+        ] {
+            if let Some(v) = recorder.counter_value(counter) {
+                println!("  {counter:<28} {v:.0}");
+            }
+        }
+    }
+
+    if args.faults.has_cluster_faults() {
+        if let Err(e) = run_faulted_cluster(&args, &recorder) {
+            fail(format!("cluster fault run failed: {e}"));
+        }
+    }
+
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, chrome_trace_json(&recorder)) {
+            Ok(()) => println!(
+                "wrote {} ({} events) — open in chrome://tracing or Perfetto",
+                path.display(),
+                recorder.event_count()
+            ),
+            Err(e) => fail(format!("cannot write {}: {e}", path.display())),
+        }
+    }
+
     if let Some(path) = &args.write_data_path {
         let style = if args.benchmark == Benchmark::Rhodo {
             AtomStyle::Full
@@ -139,12 +330,49 @@ fn main() {
         };
         let bx = *deck.simulation.sim_box();
         if let Err(e) = write_data(path, &bx, deck.simulation.atoms(), style) {
-            eprintln!("write-data failed: {e}");
-            std::process::exit(1);
+            fail(format!("write-data failed: {e}"));
         }
         println!("wrote restartable data file to {}", path.display());
     }
     if let Some(d) = &dump {
         println!("wrote {} trajectory frames", d.frames());
     }
+}
+
+/// Replays the cluster-side fault schedule on a modeled 8-rank virtual
+/// cluster: stalls skew the faulted rank's clock (partners absorb it in
+/// MPI_Wait — the paper's Fig. 4/5 imbalance mechanism), halo faults cost
+/// extra link transfers. Per-rank lanes land in `--trace` output and the
+/// injections surface as `fault_*` counters.
+fn run_faulted_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<()> {
+    // Cover the whole schedule, plus slack so skew is visible downstream.
+    let horizon = args.faults.max_cluster_step().unwrap_or(0) + 10;
+    println!("\nmodeled 8-rank cluster under fault plan ({horizon} steps):");
+    let profile = WorkloadProfile::measure(args.benchmark, 20, 1)?;
+    let (bx, x) = build_positions(args.benchmark, 1, DECK_SEED)?;
+    let mut model = CpuModel::new();
+    model.set_recorder(recorder.clone());
+    model.set_faults(Arc::new(args.faults.clone()));
+    let opts = CpuRunOptions {
+        ranks: 8,
+        sim_steps: horizon,
+        thermo_every: 10,
+        ..CpuRunOptions::default()
+    };
+    let result = model.simulate(&profile, &bx, &x, &opts)?;
+    println!(
+        "  modeled {:.1} TS/s over {} ranks",
+        result.ts_per_sec, opts.ranks
+    );
+    for counter in [
+        "fault_rank_stall",
+        "fault_rank_slow",
+        "fault_halo_drop",
+        "fault_halo_dup",
+    ] {
+        if let Some(v) = recorder.counter_value(counter) {
+            println!("  {counter:<18} {v:.0}");
+        }
+    }
+    Ok(())
 }

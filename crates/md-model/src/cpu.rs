@@ -95,9 +95,19 @@ fn jitter(rank: usize, step: u64) -> f64 {
 }
 
 /// The CPU-instance performance model.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct CpuModel {
     recorder: Option<md_observe::Recorder>,
+    faults: Option<std::sync::Arc<dyn md_parallel::ClusterFaults>>,
+}
+
+impl std::fmt::Debug for CpuModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuModel")
+            .field("recorder", &self.recorder)
+            .field("faults", &self.faults.is_some())
+            .finish()
+    }
 }
 
 impl CpuModel {
@@ -111,6 +121,13 @@ impl CpuModel {
     /// per-task and per-MPI-function spans at simulated timestamps.
     pub fn set_recorder(&mut self, recorder: md_observe::Recorder) {
         self.recorder = Some(recorder);
+    }
+
+    /// Attaches a fault model: every modeled run hands it to its
+    /// [`VirtualCluster`], so rank slowdowns, stalls, and halo faults
+    /// perturb the simulated clocks (and surface as imbalance).
+    pub fn set_faults(&mut self, faults: std::sync::Arc<dyn md_parallel::ClusterFaults>) {
+        self.faults = Some(faults);
     }
 
     /// Runs the model for `profile` decomposed over real positions.
@@ -159,6 +176,9 @@ impl CpuModel {
         if let Some(rec) = &self.recorder {
             cluster.set_recorder(rec.clone());
         }
+        if let Some(faults) = &self.faults {
+            cluster.set_faults(faults.clone());
+        }
         cluster.mpi_init(
             calib::MPI_INIT_BASE_SECONDS,
             calib::MPI_INIT_PER_RANK_SECONDS,
@@ -181,6 +201,7 @@ impl CpuModel {
         let partners: Vec<Vec<usize>> = (0..p).map(|r| decomp.face_neighbors(r).to_vec()).collect();
 
         for step in 0..opts.sim_steps {
+            cluster.begin_step(step);
             for (r, load) in loads.iter().enumerate() {
                 let owned = load.owned as f64;
                 let jit = 1.0 + jitter_amp * jitter(r, step);

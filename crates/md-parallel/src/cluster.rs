@@ -11,6 +11,7 @@
 use crate::mpi::{MpiFunction, MpiLedger};
 use md_core::{TaskKind, TaskLedger};
 use md_observe::Recorder;
+use std::sync::Arc;
 
 /// First trace lane used by virtual ranks (lane 0 is the real engine).
 const RANK_LANE_BASE: u32 = 1;
@@ -42,11 +43,55 @@ struct VirtualRank {
     mpi: MpiLedger,
 }
 
+/// A deterministic fault model queried by the virtual cluster.
+///
+/// All queries are pure functions of `(rank, step)` so an injected fault
+/// schedule is reproducible run-to-run and can be re-queried after a
+/// recovery rollback without drifting. Defaults model a healthy cluster.
+pub trait ClusterFaults: Send + Sync {
+    /// Multiplier on rank `rank`'s compute time at `step` (`> 1` models a
+    /// degraded core, thermal throttling, or a noisy neighbor).
+    fn compute_scale(&self, _rank: usize, _step: u64) -> f64 {
+        1.0
+    }
+
+    /// Extra seconds rank `rank`'s clock stalls at the top of `step`
+    /// (transient hang: page fault storm, OS jitter, GC on a shared node).
+    fn stall_seconds(&self, _rank: usize, _step: u64) -> f64 {
+        0.0
+    }
+
+    /// Whether the halo message destined for `rank` is lost at `step`
+    /// (the partner must retransmit; the receiver pays the extra round).
+    fn drop_halo(&self, _rank: usize, _step: u64) -> bool {
+        false
+    }
+
+    /// Whether `rank` receives its halo payload twice at `step`
+    /// (duplicated delivery: the extra volume transits the link again).
+    fn duplicate_halo(&self, _rank: usize, _step: u64) -> bool {
+        false
+    }
+}
+
 /// A set of virtual ranks evolving bulk-synchronously.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct VirtualCluster {
     ranks: Vec<VirtualRank>,
     recorder: Recorder,
+    faults: Option<Arc<dyn ClusterFaults>>,
+    /// Step index faults are queried at (set by [`VirtualCluster::begin_step`]).
+    current_step: u64,
+}
+
+impl std::fmt::Debug for VirtualCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualCluster")
+            .field("ranks", &self.ranks)
+            .field("current_step", &self.current_step)
+            .field("faults", &self.faults.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl VirtualCluster {
@@ -60,6 +105,48 @@ impl VirtualCluster {
         VirtualCluster {
             ranks: vec![VirtualRank::default(); n],
             recorder: Recorder::disabled(),
+            faults: None,
+            current_step: 0,
+        }
+    }
+
+    /// Attaches a fault model. Subsequent compute and halo operations are
+    /// perturbed according to the model at the step index most recently
+    /// passed to [`VirtualCluster::begin_step`].
+    pub fn set_faults(&mut self, faults: Arc<dyn ClusterFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Step index faults are currently queried at.
+    pub fn current_step(&self) -> u64 {
+        self.current_step
+    }
+
+    /// Marks the beginning of timestep `step` and applies any scheduled
+    /// rank stalls: a stalled rank's clock silently advances before it does
+    /// any work, which downstream synchronization points convert into
+    /// `MPI_Wait` on every *other* rank — the paper's imbalance mechanism,
+    /// triggered by a fault instead of a decomposition artifact.
+    pub fn begin_step(&mut self, step: u64) {
+        self.current_step = step;
+        let Some(faults) = self.faults.clone() else {
+            return;
+        };
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            let stall = faults.stall_seconds(r, step);
+            if stall > 0.0 {
+                let lane = Self::lane(r);
+                self.recorder.record_span_at(
+                    lane,
+                    "fault",
+                    "rank_stall",
+                    rank.clock * US,
+                    stall * US,
+                );
+                self.recorder.count(lane, "fault_rank_stall", 1.0);
+                rank.clock += stall;
+                rank.tasks.add(TaskKind::Other, stall);
+            }
         }
     }
 
@@ -85,7 +172,19 @@ impl VirtualCluster {
     }
 
     /// Advances rank `r` by `seconds` of compute attributed to `task`.
+    ///
+    /// An attached fault model may scale the time (rank slowdown faults).
     pub fn compute(&mut self, r: usize, task: TaskKind, seconds: f64) {
+        let seconds = match &self.faults {
+            Some(f) => {
+                let scale = f.compute_scale(r, self.current_step);
+                if scale != 1.0 {
+                    self.recorder.count(Self::lane(r), "fault_rank_slow", 1.0);
+                }
+                seconds * scale
+            }
+            None => seconds,
+        };
         let rank = &mut self.ranks[r];
         self.recorder.record_span_at(
             Self::lane(r),
@@ -144,13 +243,29 @@ impl VirtualCluster {
                 .map(|&p| bytes[p] / partners[p].len().max(1) as f64)
                 .sum();
             let sent = if any_partner { bytes[r] } else { 0.0 };
-            let xfer = if any_partner {
+            let mut xfer = if any_partner {
                 link.transfer(sent + recv)
             } else {
                 0.0
             };
-            let rank = &mut self.ranks[r];
             let lane = Self::lane(r);
+            if any_partner {
+                if let Some(f) = self.faults.clone() {
+                    if f.drop_halo(r, self.current_step) {
+                        // Lost inbound message: the partner retransmits, so
+                        // the receiver pays a full extra latency + volume.
+                        xfer += link.transfer(recv);
+                        self.recorder.count(lane, "fault_halo_drop", 1.0);
+                    }
+                    if f.duplicate_halo(r, self.current_step) {
+                        // Duplicated delivery: the payload transits the link
+                        // twice (no extra handshake latency).
+                        xfer += recv / link.bandwidth;
+                        self.recorder.count(lane, "fault_halo_dup", 1.0);
+                    }
+                }
+            }
+            let rank = &mut self.ranks[r];
             if wait + xfer > 0.0 {
                 // Enclosing task span; the MPI spans below nest inside it.
                 self.recorder.record_span_at(
@@ -423,6 +538,95 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         let _ = VirtualCluster::new(0);
+    }
+
+    /// Fault plan for tests: rank 1 stalls at step 3, runs 2x slow at step
+    /// 5, drops its halo at step 7, and receives a duplicate at step 9.
+    struct TestFaults;
+
+    impl ClusterFaults for TestFaults {
+        fn compute_scale(&self, rank: usize, step: u64) -> f64 {
+            if rank == 1 && step == 5 {
+                2.0
+            } else {
+                1.0
+            }
+        }
+        fn stall_seconds(&self, rank: usize, step: u64) -> f64 {
+            if rank == 1 && step == 3 {
+                0.25
+            } else {
+                0.0
+            }
+        }
+        fn drop_halo(&self, rank: usize, step: u64) -> bool {
+            rank == 1 && step == 7
+        }
+        fn duplicate_halo(&self, rank: usize, step: u64) -> bool {
+            rank == 1 && step == 9
+        }
+    }
+
+    #[test]
+    fn rank_stall_advances_clock_and_skews_partners() {
+        let rec = Recorder::default();
+        let mut c = VirtualCluster::new(2);
+        c.set_recorder(rec.clone());
+        c.set_faults(Arc::new(TestFaults));
+        c.begin_step(3);
+        assert_eq!(c.current_step(), 3);
+        // Rank 1 stalled 0.25 s before doing any work.
+        assert!((c.max_clock() - 0.25).abs() < 1e-15);
+        assert_eq!(c.min_clock(), 0.0);
+        assert_eq!(rec.counter_value("fault_rank_stall"), Some(1.0));
+        // Equal compute + halo exchange: the stall surfaces as rank 0 skew.
+        for r in 0..2 {
+            c.compute(r, TaskKind::Pair, 1.0);
+        }
+        c.halo_exchange(&[vec![1], vec![0]], &[100.0; 2], LINK);
+        assert!((c.mpi_ledger(0).skew_seconds() - 0.25).abs() < 1e-12);
+        assert_eq!(c.mpi_ledger(1).skew_seconds(), 0.0);
+    }
+
+    #[test]
+    fn compute_scale_slows_the_faulted_rank_only() {
+        let rec = Recorder::default();
+        let mut c = VirtualCluster::new(2);
+        c.set_recorder(rec.clone());
+        c.set_faults(Arc::new(TestFaults));
+        c.begin_step(5);
+        c.compute(0, TaskKind::Pair, 1.0);
+        c.compute(1, TaskKind::Pair, 1.0);
+        assert_eq!(c.task_ledger(0).seconds(TaskKind::Pair), 1.0);
+        assert_eq!(c.task_ledger(1).seconds(TaskKind::Pair), 2.0);
+        assert_eq!(rec.counter_value("fault_rank_slow"), Some(1.0));
+        // Off-schedule steps are unperturbed.
+        c.begin_step(6);
+        c.compute(1, TaskKind::Pair, 1.0);
+        assert_eq!(c.task_ledger(1).seconds(TaskKind::Pair), 3.0);
+    }
+
+    #[test]
+    fn halo_drop_and_duplicate_cost_extra_transfer() {
+        let baseline = {
+            let mut c = VirtualCluster::new(2);
+            c.halo_exchange(&[vec![1], vec![0]], &[1e6; 2], LINK);
+            (c.mpi_ledger(1).total(), c.mpi_ledger(0).total())
+        };
+        let rec = Recorder::default();
+        let mut c = VirtualCluster::new(2);
+        c.set_recorder(rec.clone());
+        c.set_faults(Arc::new(TestFaults));
+        c.begin_step(7); // rank 1 drops its inbound halo
+        c.halo_exchange(&[vec![1], vec![0]], &[1e6; 2], LINK);
+        assert!(c.mpi_ledger(1).total() > baseline.0);
+        assert_eq!(c.mpi_ledger(0).seconds(MpiFunction::Sendrecv), baseline.1);
+        assert_eq!(rec.counter_value("fault_halo_drop"), Some(1.0));
+        let after_drop = c.mpi_ledger(1).total();
+        c.begin_step(9); // rank 1 receives a duplicate
+        c.halo_exchange(&[vec![1], vec![0]], &[1e6; 2], LINK);
+        assert!(c.mpi_ledger(1).total() - after_drop > baseline.0);
+        assert_eq!(rec.counter_value("fault_halo_dup"), Some(1.0));
     }
 
     #[test]

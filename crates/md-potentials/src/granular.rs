@@ -151,6 +151,38 @@ impl PairStyle for GranHookeHistory {
     }
 
     fn set_precision(&mut self, _mode: PrecisionMode) {}
+
+    fn state_save(&self, w: &mut md_core::wire::Writer) {
+        // The contact history is the style's only carried state. HashMap
+        // iteration order is nondeterministic, so serialize sorted by key —
+        // the checkpoint bytes must be a pure function of the physics.
+        let mut keys: Vec<(u32, u32)> = self.history.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for (i, j) in keys {
+            w.u32(i);
+            w.u32(j);
+            w.v3(self.history[&(i, j)]);
+        }
+    }
+
+    fn state_load(&mut self, r: &mut md_core::wire::Reader<'_>) -> Result<(), CoreError> {
+        let n = r.usize()?;
+        let mut history = HashMap::new();
+        for _ in 0..n {
+            let key = (r.u32()?, r.u32()?);
+            let shear = r.v3()?;
+            if history.insert(key, shear).is_some() {
+                return Err(CoreError::CorruptState {
+                    what: "gran/hooke/history",
+                    detail: format!("duplicate contact key {key:?}"),
+                });
+            }
+        }
+        self.history = history;
+        self.next_history.clear();
+        Ok(())
+    }
 }
 
 /// A frictional granular wall at the bottom of the box
@@ -408,5 +440,40 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(GranHookeHistory::new(0.0, 50.0, 0.5, 1.0).is_err());
         assert!(GranHookeHistory::new(2000.0, -1.0, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn history_state_round_trips_bitwise() {
+        let mut style = GranHookeHistory::new(2000.0, 0.0, 10.0, 1.0).unwrap();
+        let mut rig = Rig::two_particles(
+            Vec3::new(5.9, 5.0, 5.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        rig.compute(&mut style);
+        rig.compute(&mut style);
+        assert!(style.history_len() > 0);
+        let mut w = md_core::wire::Writer::new();
+        style.state_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = GranHookeHistory::new(2000.0, 0.0, 10.0, 1.0).unwrap();
+        other
+            .state_load(&mut md_core::wire::Reader::new(&bytes, "gran"))
+            .unwrap();
+        assert_eq!(other.history_len(), style.history_len());
+        let (a, b) = (style.shear(0, 1).unwrap(), other.shear(0, 1).unwrap());
+        assert_eq!(a.y.to_bits(), b.y.to_bits());
+        // Duplicate keys are rejected.
+        let mut w = md_core::wire::Writer::new();
+        w.usize(2);
+        for _ in 0..2 {
+            w.u32(0);
+            w.u32(1);
+            w.v3(Vec3::zero());
+        }
+        let bad = w.into_bytes();
+        assert!(other
+            .state_load(&mut md_core::wire::Reader::new(&bad, "gran"))
+            .is_err());
     }
 }

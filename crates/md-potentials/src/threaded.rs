@@ -477,6 +477,14 @@ impl<P: Threadable> PairStyle for Threaded<P> {
         }
         self.recorder = recorder;
     }
+
+    fn state_save(&self, w: &mut md_core::wire::Writer) {
+        self.style.state_save(w);
+    }
+
+    fn state_load(&mut self, r: &mut md_core::wire::Reader<'_>) -> Result<(), CoreError> {
+        self.style.state_load(r)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,424 @@
+//! Rollback-and-retry recovery driving the watchdog and checkpoints.
+//!
+//! The [`ResilientRunner`] advances a deck step by step, snapshotting the
+//! full dynamic state in memory at a configurable cadence. When the
+//! watchdog reports a violation (or the engine's own step errors), the
+//! runner rolls the simulation back to the last healthy snapshot and
+//! retries under an escalating mitigation ladder:
+//!
+//! 1. **Rebuild the neighbor list** — clears a stale-list artifact and
+//!    perturbs the summation schedule past a transient corruption.
+//! 2. **Shrink the timestep** (× `dt_backoff`) — buys integration headroom
+//!    when the blow-up is a genuine stiffness/stability problem.
+//! 3. **Tighten the k-space accuracy** — for long-range decks whose drift
+//!    traces back to mesh error (a no-op notch elsewhere).
+//!
+//! Retries are bounded by [`RecoveryPolicy::max_retries`]; exhaustion
+//! aborts with a structured [`FailureReport`] carried inside
+//! [`ResilienceError::Unrecoverable`]. A clean stretch of steps resets the
+//! ladder, so isolated transients pay one rung each rather than marching
+//! the run toward abort.
+
+use crate::checkpoint::CheckpointManager;
+use crate::faults::FaultPlan;
+use crate::watchdog::{HealthEvent, Watchdog};
+use crate::{ResilienceError, Result};
+use md_workloads::Deck;
+
+/// Knobs for the rollback-and-retry driver.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Total rollbacks allowed before the run aborts with a
+    /// [`FailureReport`].
+    pub max_retries: u32,
+    /// In-memory snapshot cadence in steps (also the rollback granularity).
+    pub snapshot_every: u64,
+    /// Timestep multiplier applied by the shrink-timestep rung.
+    pub dt_backoff: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 4,
+            snapshot_every: 10,
+            dt_backoff: 0.5,
+        }
+    }
+}
+
+/// One rung of the mitigation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mitigation {
+    /// Force a neighbor-list rebuild at the rolled-back positions.
+    RebuildNeighbors,
+    /// Multiply the timestep by [`RecoveryPolicy::dt_backoff`].
+    ShrinkTimestep,
+    /// Tighten the long-range solver's accuracy target one notch.
+    TightenKspace,
+}
+
+/// Ladder order: cheap and reversible first.
+const LADDER: [Mitigation; 3] = [
+    Mitigation::RebuildNeighbors,
+    Mitigation::ShrinkTimestep,
+    Mitigation::TightenKspace,
+];
+
+impl std::fmt::Display for Mitigation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mitigation::RebuildNeighbors => "rebuild-neighbors",
+            Mitigation::ShrinkTimestep => "shrink-timestep",
+            Mitigation::TightenKspace => "tighten-kspace",
+        })
+    }
+}
+
+/// Structured description of an unrecoverable run.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Step index at which the final violation was observed.
+    pub step: u64,
+    /// The violations observed at that step.
+    pub events: Vec<HealthEvent>,
+    /// Mitigations applied before giving up, in order.
+    pub mitigations: Vec<Mitigation>,
+    /// Rollbacks performed before giving up.
+    pub rollbacks: u32,
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecoverable at step {} after {} rollback(s)",
+            self.step, self.rollbacks
+        )?;
+        if !self.mitigations.is_empty() {
+            write!(f, " (tried:")?;
+            for m in &self.mitigations {
+                write!(f, " {m}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ": ")?;
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a resilient run did, for callers and the harness to report.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Steps actually advanced (net of rollbacks).
+    pub steps_run: u64,
+    /// Health events observed (including those recovered from).
+    pub violations: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u32,
+    /// Mitigations applied, in order.
+    pub mitigations: Vec<Mitigation>,
+    /// Disk checkpoints written.
+    pub checkpoints_written: u64,
+}
+
+impl RunSummary {
+    /// Whether the run hit violations and still completed.
+    pub fn recovered(&self) -> bool {
+        self.violations > 0
+    }
+}
+
+/// The rollback-and-retry driver. Owns the watchdog, the fault plan's
+/// engine-side schedule, the in-memory snapshot, and (optionally) a disk
+/// [`CheckpointManager`].
+pub struct ResilientRunner {
+    policy: RecoveryPolicy,
+    watchdog: Watchdog,
+    plan: FaultPlan,
+    /// Consumed-once flags, one per `plan.engine_faults()` entry.
+    consumed: Vec<bool>,
+    /// Last healthy `(step, state)` snapshot.
+    snapshot: Option<(u64, Vec<u8>)>,
+    checkpoints: Option<(CheckpointManager, u64)>,
+}
+
+impl ResilientRunner {
+    /// Creates a runner. `plan`'s engine faults will be injected (once
+    /// each) at their scheduled steps; pass `FaultPlan::default()` for a
+    /// healthy run.
+    pub fn new(policy: RecoveryPolicy, watchdog: Watchdog, plan: FaultPlan) -> Self {
+        let consumed = vec![false; plan.engine_faults().len()];
+        ResilientRunner {
+            policy,
+            watchdog,
+            plan,
+            consumed,
+            snapshot: None,
+            checkpoints: None,
+        }
+    }
+
+    /// Also write disk checkpoints through `manager` (at its own cadence),
+    /// stamping them with `seed` as the deck-recipe seed.
+    pub fn with_checkpoints(mut self, manager: CheckpointManager, seed: u64) -> Self {
+        self.checkpoints = Some((manager, seed));
+        self
+    }
+
+    /// The watchdog (e.g. to read `events_seen` after a run).
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Advances `deck` by `nsteps` net steps, recovering from violations
+    /// per the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::Unrecoverable`] when the retry budget is
+    /// exhausted, and propagates checkpoint I/O or rollback-restore
+    /// failures directly.
+    pub fn run(&mut self, deck: &mut Deck, nsteps: u64) -> Result<RunSummary> {
+        let start = deck.simulation.step_index();
+        let target = start + nsteps;
+        let mut summary = RunSummary::default();
+        // Ladder position; resets after a clean snapshot interval.
+        let mut escalation: usize = 0;
+
+        self.snapshot = Some((start, deck.simulation.save_state()));
+
+        while deck.simulation.step_index() < target {
+            let step = deck.simulation.step_index();
+
+            // Inject engine faults due before this step (consumed once).
+            for (i, fault) in self.plan.engine_faults().iter().enumerate() {
+                if fault.step == step && !self.consumed[i] {
+                    self.consumed[i] = true;
+                    fault.inject(&mut deck.simulation)?;
+                }
+            }
+
+            let mut events = match deck.simulation.step() {
+                Ok(()) => self.watchdog.check(&deck.simulation),
+                Err(e) => vec![HealthEvent::StepFailed {
+                    message: e.to_string(),
+                }],
+            };
+            // A step error is also mirrored to the health counters.
+            if let Some(HealthEvent::StepFailed { .. }) = events.first() {
+                let ev = &events[0];
+                deck.simulation.recorder().count(0, ev.counter(), 1.0);
+            }
+
+            if events.is_empty() {
+                let step = deck.simulation.step_index();
+                if self.policy.snapshot_every > 0 && step.is_multiple_of(self.policy.snapshot_every)
+                {
+                    self.snapshot = Some((step, deck.simulation.save_state()));
+                    // A full clean interval: the transient is behind us.
+                    escalation = 0;
+                    if let Some((mgr, seed)) = &self.checkpoints {
+                        if mgr.due(step) {
+                            mgr.save(deck, *seed)?;
+                            summary.checkpoints_written += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            summary.violations += events.len() as u64;
+            if summary.rollbacks >= self.policy.max_retries || escalation >= LADDER.len() {
+                return Err(ResilienceError::Unrecoverable(Box::new(FailureReport {
+                    step: deck.simulation.step_index(),
+                    events: std::mem::take(&mut events),
+                    mitigations: summary.mitigations.clone(),
+                    rollbacks: summary.rollbacks,
+                })));
+            }
+
+            // Roll back to the last healthy snapshot and escalate.
+            let (snap_step, state) = self
+                .snapshot
+                .as_ref()
+                .expect("snapshot taken before stepping");
+            deck.simulation.load_state(state)?;
+            debug_assert_eq!(deck.simulation.step_index(), *snap_step);
+            self.watchdog.reset_reference();
+            summary.rollbacks += 1;
+            deck.simulation
+                .recorder()
+                .count(0, "recovery_rollback", 1.0);
+
+            let rung = LADDER[escalation];
+            escalation += 1;
+            match rung {
+                Mitigation::RebuildNeighbors => deck.simulation.force_neighbor_rebuild()?,
+                Mitigation::ShrinkTimestep => {
+                    let dt = deck.simulation.dt() * self.policy.dt_backoff;
+                    deck.simulation.set_dt(dt)?;
+                }
+                Mitigation::TightenKspace => {
+                    // Decks without a long-range solver burn the rung as a
+                    // plain retry; the next escalation aborts.
+                    let _ = deck.simulation.tighten_kspace()?;
+                }
+            }
+            summary.mitigations.push(rung);
+            deck.simulation
+                .recorder()
+                .count(0, "recovery_mitigation", 1.0);
+        }
+
+        summary.steps_run = deck.simulation.step_index() - start;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watchdog::WatchdogConfig;
+    use md_core::Threads;
+    use md_workloads::{build_deck_with, Benchmark};
+
+    fn lj(seed: u64) -> Deck {
+        build_deck_with(Benchmark::Lj, 1, seed, Threads::deterministic(1)).unwrap()
+    }
+
+    fn fingerprint(deck: &Deck) -> Vec<u64> {
+        deck.simulation
+            .atoms()
+            .x()
+            .iter()
+            .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+            .collect()
+    }
+
+    #[test]
+    fn healthy_run_matches_plain_run_bitwise() {
+        let mut plain = lj(5);
+        plain.simulation.run(20).unwrap();
+
+        let mut guarded = lj(5);
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy::default(),
+            Watchdog::new(WatchdogConfig::default()),
+            FaultPlan::default(),
+        );
+        let summary = runner.run(&mut guarded, 20).unwrap();
+        assert_eq!(summary.steps_run, 20);
+        assert_eq!(summary.violations, 0);
+        assert!(!summary.recovered());
+        assert_eq!(fingerprint(&plain), fingerprint(&guarded));
+    }
+
+    #[test]
+    fn recovers_from_injected_force_flip() {
+        let mut deck = lj(5);
+        let plan = FaultPlan::parse("force-flip:3@7").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                snapshot_every: 5,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        );
+        let summary = runner.run(&mut deck, 20).unwrap();
+        assert_eq!(summary.steps_run, 20, "run completes without help");
+        assert!(summary.violations > 0, "the flip was detected");
+        assert!(summary.rollbacks >= 1, "and rolled back");
+        assert!(summary.recovered());
+        assert_eq!(deck.simulation.step_index(), 20);
+        // The post-recovery state is healthy.
+        assert!(deck
+            .simulation
+            .atoms()
+            .f()
+            .iter()
+            .all(|f| { f.x.is_finite() && f.y.is_finite() && f.z.is_finite() }));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_structured_failure() {
+        let mut deck = lj(5);
+        // Flips on consecutive steps outnumber a 1-retry budget.
+        let plan = FaultPlan::parse("force-flip:1@3,force-flip:2@4").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                max_retries: 1,
+                snapshot_every: 50,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        );
+        let err = runner.run(&mut deck, 20).unwrap_err();
+        match err {
+            ResilienceError::Unrecoverable(report) => {
+                assert_eq!(report.rollbacks, 1);
+                assert!(!report.events.is_empty());
+                let text = report.to_string();
+                assert!(text.contains("unrecoverable"), "{text}");
+                assert!(text.contains("rebuild-neighbors"), "{text}");
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ladder_escalates_in_order() {
+        let mut deck = lj(5);
+        // Three faults, each caught and rolled back: the ladder should walk
+        // rebuild -> shrink -> tighten before any reset.
+        let plan = FaultPlan::parse("force-flip:1@3,force-flip:2@4,force-flip:3@5").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                max_retries: 10,
+                snapshot_every: 50, // no clean-interval reset inside the burst
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        );
+        let summary = runner.run(&mut deck, 20).unwrap();
+        assert_eq!(
+            summary.mitigations,
+            vec![
+                Mitigation::RebuildNeighbors,
+                Mitigation::ShrinkTimestep,
+                Mitigation::TightenKspace,
+            ]
+        );
+        assert_eq!(summary.rollbacks, 3);
+        assert_eq!(deck.simulation.step_index(), 20);
+    }
+
+    #[test]
+    fn disk_checkpoints_are_written_at_cadence() {
+        let dir = std::env::temp_dir().join(format!("mdres_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = CheckpointManager::new(&dir, 10, 0).unwrap();
+        let mut deck = lj(5);
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                snapshot_every: 5,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            FaultPlan::default(),
+        )
+        .with_checkpoints(mgr, 5);
+        let summary = runner.run(&mut deck, 20).unwrap();
+        assert_eq!(summary.checkpoints_written, 2, "steps 10 and 20");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -99,7 +99,7 @@ pub fn build_with(scale: usize, seed: u64, threads: Threads) -> Result<Simulatio
             TEMPERATURE,
             LANGEVIN_DAMP,
             seed ^ 0x9e37,
-        )))
+        )?))
         .skin(SKIN)
         .dt(DT)
         .thermo_every(100)

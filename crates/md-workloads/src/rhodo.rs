@@ -249,7 +249,7 @@ fn build_full(scale: usize, seed: u64, kspace_error: f64, threads: Threads) -> R
             t_damp: 100.0,
             p_target: PRESSURE,
             p_damp: 1000.0,
-        })))
+        })?))
         .shake(Shake::new(shake, 1e-6, 100))
         .skin(SKIN)
         .dt(DT)

@@ -164,6 +164,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        /// The all-zero state is the one forbidden xoshiro state; it is
+        /// remapped the same way `seed_from_u64` does, so restoring always
+        /// yields a working generator.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
