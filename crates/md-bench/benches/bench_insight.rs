@@ -1,0 +1,126 @@
+//! md-insight overhead guard: analysis happens *after* the run, so with
+//! analysis disabled (no recorder, no rank stats) the per-step cost added
+//! by the insight machinery must stay within 2% of a plain engine step.
+//! The analyzer itself is also timed — amortized per modeled step — and
+//! reported (not asserted; it runs off the hot path). Results land in
+//! `BENCH_insight.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_harness::insight;
+use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+use md_observe::{ObserveConfig, Recorder};
+use std::time::{Duration, Instant};
+
+/// Tolerated analysis-disabled share of one engine step.
+const MAX_OVERHEAD_FRACTION: f64 = 0.02;
+
+/// Upper bound on instrumentation call sites executed per engine step (the
+/// only per-step surface the insight path touches; analysis itself runs
+/// after the run).
+const HOOKS_PER_STEP: u64 = 24;
+
+/// Modeled steps the analyzer cost is amortized over.
+const ANALYZE_SIM_STEPS: u64 = 60;
+
+fn time_per_iter(iters: u64, mut body: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    t0.elapsed() / iters.max(1) as u32
+}
+
+/// Hard guard: with analysis disabled the insight path adds nothing per
+/// step beyond the disabled-recorder hooks, so `HOOKS_PER_STEP` disabled
+/// hook calls must cost at most `MAX_OVERHEAD_FRACTION` of a measured step
+/// (the same methodology as `bench_observe`, robust on noisy hosts).
+fn guard_disabled_overhead(c: &mut Criterion) {
+    let off = Recorder::disabled();
+    let hook = time_per_iter(4_000_000, || {
+        let t0 = Instant::now();
+        off.record_span(0, "task", "Pair", t0, 1e-6);
+    });
+
+    let mut deck =
+        md_workloads::build_deck(md_workloads::Benchmark::Lj, 1, 3).expect("deck builds");
+    deck.simulation.set_recorder(off.clone());
+    deck.simulation.run(5).expect("warmup");
+    let step = time_per_iter(30, || {
+        deck.simulation.run(1).expect("step runs");
+    });
+
+    let overhead = hook.as_secs_f64() * HOOKS_PER_STEP as f64;
+    let fraction = overhead / step.as_secs_f64().max(1e-12);
+
+    // Analyzer cost, amortized per modeled step (off the hot path).
+    let recorder = Recorder::new(ObserveConfig::default());
+    let profile = WorkloadProfile::measure(md_workloads::Benchmark::Lj, 10, 1).expect("profile");
+    let (bx, x) =
+        md_workloads::build_positions(md_workloads::Benchmark::Lj, 1, 1).expect("positions");
+    let mut model = CpuModel::new();
+    model.set_recorder(recorder.clone());
+    let opts = CpuRunOptions {
+        ranks: 8,
+        sim_steps: ANALYZE_SIM_STEPS,
+        thermo_every: 10,
+        collect_rank_stats: true,
+        ..CpuRunOptions::default()
+    };
+    let result = model.simulate(&profile, &bx, &x, &opts).expect("simulate");
+    let analyze = time_per_iter(20, || {
+        let report = insight::analyze(&result, &recorder);
+        std::hint::black_box(report.findings.len());
+    });
+    let analyze_per_step = analyze.as_secs_f64() / ANALYZE_SIM_STEPS as f64;
+
+    println!(
+        "insight_guard: disabled hook {:.1} ns x {HOOKS_PER_STEP} = {:.2} us \
+         vs step {:.1} us ({:.4}% of step, budget {:.0}%); analyze() {:.1} us \
+         total = {:.3} us per modeled step (off hot path, informational)",
+        hook.as_secs_f64() * 1e9,
+        overhead * 1e6,
+        step.as_secs_f64() * 1e6,
+        fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0,
+        analyze.as_secs_f64() * 1e6,
+        analyze_per_step * 1e6,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"lj\",\n  \
+         \"disabled_hook_s\": {:.6e},\n  \"hooks_per_step\": {HOOKS_PER_STEP},\n  \
+         \"step_s\": {:.6e},\n  \"overhead_fraction\": {fraction:.6},\n  \
+         \"max_overhead_fraction\": {MAX_OVERHEAD_FRACTION},\n  \
+         \"analyze_total_s\": {:.6e},\n  \"analyze_per_model_step_s\": {:.6e},\n  \
+         \"model_sim_steps\": {ANALYZE_SIM_STEPS},\n  \"asserted\": true\n}}\n",
+        hook.as_secs_f64(),
+        step.as_secs_f64(),
+        analyze.as_secs_f64(),
+        analyze_per_step,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_insight.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("bench_insight: wrote {out}"),
+        Err(e) => println!("bench_insight: cannot write {out}: {e}"),
+    }
+
+    assert!(
+        fraction <= MAX_OVERHEAD_FRACTION,
+        "analysis-disabled per-step overhead {:.3}% exceeds the {:.0}% budget",
+        fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0
+    );
+
+    // Keep the Criterion report non-empty so the guard visibly ran.
+    let mut group = c.benchmark_group("insight_guard");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("analyze_model_run", |b| {
+        b.iter(|| insight::analyze(&result, &recorder).findings.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, guard_disabled_overhead);
+criterion_main!(benches);

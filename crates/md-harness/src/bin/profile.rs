@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release -p md-harness --bin profile [--steps N]
 //!     [--threads T] [--deterministic] [--trace out.json] [--metrics out.jsonl]
+//!     [--analyze]
 //! ```
 //!
 //! `--threads T` runs the hot kernels on `T` shared-memory threads (traced
@@ -21,10 +22,16 @@
 //! `--metrics` additionally writes per-step JSONL samples. Recording can
 //! also be switched on without flags via `MD_OBSERVE=1` (capacities:
 //! `MD_OBSERVE_STEPS`, `MD_OBSERVE_EVENTS`).
+//!
+//! `--analyze` collects per-rank stats and critical-path records from the
+//! modeled cluster run and prints the md-insight characterization report
+//! (bottleneck attribution, `%varavg` load imbalance, per-MPI-function
+//! overhead, critical path).
 
 use md_core::{TaskKind, Threads};
+use md_harness::insight;
 use md_harness::render::{fnum, TextTable};
-use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+use md_model::{CpuModel, CpuRunOptions, CpuRunResult, WorkloadProfile};
 use md_observe::{chrome_trace_json, metrics_jsonl, text_report, ObserveConfig, Recorder};
 use md_workloads::{build_deck_with, build_positions, Benchmark};
 
@@ -33,6 +40,7 @@ fn main() {
     let mut threads = Threads::from_env();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut analyze = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
@@ -61,6 +69,7 @@ fn main() {
             "--deterministic" => threads.deterministic = true,
             "--trace" => trace_path = Some(value(&mut args)),
             "--metrics" => metrics_path = Some(value(&mut args)),
+            "--analyze" => analyze = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -69,7 +78,7 @@ fn main() {
     }
 
     let mut cfg = ObserveConfig::from_env();
-    cfg.enabled = cfg.enabled || trace_path.is_some() || metrics_path.is_some();
+    cfg.enabled = cfg.enabled || trace_path.is_some() || metrics_path.is_some() || analyze;
     let recorder = Recorder::new(cfg);
 
     let mut header: Vec<String> = vec![
@@ -129,8 +138,14 @@ fn main() {
         // Add per-rank lanes: a short modeled 8-rank LJ run on the virtual
         // cluster, traced at simulated timestamps.
         eprintln!("[profile] tracing 8-rank virtual cluster (modeled lj) ...");
-        if let Err(e) = trace_cluster(&recorder) {
-            eprintln!("[profile] cluster trace failed: {e}");
+        match trace_cluster(&recorder, analyze) {
+            Ok(result) => {
+                if analyze {
+                    let report = insight::analyze(&result, &recorder);
+                    println!("\n{}", report.render());
+                }
+            }
+            Err(e) => eprintln!("[profile] cluster trace failed: {e}"),
         }
 
         if let Some(path) = &trace_path {
@@ -159,8 +174,10 @@ fn main() {
 }
 
 /// Runs the CPU model for LJ over 8 virtual ranks with `recorder` attached,
-/// so the exported trace gets per-rank lanes (`rank 0`..`rank 7`).
-fn trace_cluster(recorder: &Recorder) -> md_core::Result<()> {
+/// so the exported trace gets per-rank lanes (`rank 0`..`rank 7`). With
+/// `collect_rank_stats`, the result also carries per-rank ledgers and
+/// critical-path records for the insight analyzer.
+fn trace_cluster(recorder: &Recorder, collect_rank_stats: bool) -> md_core::Result<CpuRunResult> {
     let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1)?;
     let (bx, x) = build_positions(Benchmark::Lj, 1, 1)?;
     let mut model = CpuModel::new();
@@ -171,8 +188,8 @@ fn trace_cluster(recorder: &Recorder) -> md_core::Result<()> {
         // Short traced window: make sure a thermo allreduce (the modeled
         // Output task) lands inside it.
         thermo_every: 10,
+        collect_rank_stats,
         ..CpuRunOptions::default()
     };
-    model.simulate(&profile, &bx, &x, &opts)?;
-    Ok(())
+    model.simulate(&profile, &bx, &x, &opts)
 }

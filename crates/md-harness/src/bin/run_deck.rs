@@ -8,6 +8,7 @@
 //!          [--checkpoint-every N] [--checkpoint-dir DIR]
 //!          [--checkpoint-retain K] [--resume]
 //!          [--faults SPEC] [--trace out.json]
+//!          [--insight DIR] [--baselines DIR] [--update-baselines]
 //! ```
 //!
 //! `--threads T` runs the hot kernels (pair, neighbor build, PPPM) on `T`
@@ -31,9 +32,22 @@
 //! ladder; cluster faults (`rank-stall:<rank>@<step>`, `rank-slow`,
 //! `halo-drop`, `halo-dup`) additionally drive a modeled 8-rank virtual
 //! cluster whose per-rank lanes land in `--trace` output.
+//!
+//! ## Analysis
+//!
+//! `--insight DIR` runs the md-insight analyzer after the run: the modeled
+//! 8-rank cluster executes with per-rank stats and critical-path tracking,
+//! and DIR receives `report.txt` (the characterization report, also printed),
+//! `metrics.om` (OpenMetrics snapshot), and `folded.txt` (folded stacks for
+//! flamegraph tooling). Modeled per-task step costs are compared against
+//! `--baselines DIR` (default `baselines/`) per deck; `--update-baselines`
+//! folds this run into the stored baseline (refused under fault injection,
+//! which would poison it). The process exits 3 when a perf regression is
+//! detected, so CI can gate on it.
 
 use md_core::{TaskKind, Threads};
-use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+use md_harness::insight;
+use md_model::{CpuModel, CpuRunOptions, CpuRunResult, WorkloadProfile};
 use md_observe::{chrome_trace_json, ObserveConfig, Recorder};
 use md_resilience::{
     Checkpoint, CheckpointManager, FaultPlan, RecoveryPolicy, ResilientRunner, Watchdog,
@@ -62,6 +76,9 @@ struct Args {
     resume: bool,
     faults: FaultPlan,
     trace: Option<PathBuf>,
+    insight: Option<PathBuf>,
+    baselines: PathBuf,
+    update_baselines: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,7 +87,8 @@ fn parse_args() -> Result<Args, String> {
         "usage: run_deck <lj|chain|eam|chute|rhodo> [--steps N] [--scale S] \
          [--thermo N] [--threads T] [--deterministic] [--dump FILE] \
          [--write-data FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
-         [--checkpoint-retain K] [--resume] [--faults SPEC] [--trace FILE]"
+         [--checkpoint-retain K] [--resume] [--faults SPEC] [--trace FILE] \
+         [--insight DIR] [--baselines DIR] [--update-baselines]"
             .to_string()
     })?;
     let benchmark = Benchmark::parse(&bench_name).map_err(|e| e.to_string())?;
@@ -88,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         faults: FaultPlan::default(),
         trace: None,
+        insight: None,
+        baselines: PathBuf::from("baselines"),
+        update_baselines: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -125,6 +146,9 @@ fn parse_args() -> Result<Args, String> {
                 out.faults = FaultPlan::parse(&value("--faults")?).map_err(|e| e.to_string())?;
             }
             "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+            "--insight" => out.insight = Some(PathBuf::from(value("--insight")?)),
+            "--baselines" => out.baselines = PathBuf::from(value("--baselines")?),
+            "--update-baselines" => out.update_baselines = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -199,9 +223,14 @@ fn main() {
         .as_deref()
         .map(|p| XyzDump::create(p).unwrap_or_else(|e| fail(format!("cannot create dump: {e}"))));
 
-    // Health/fault counters and trace lanes need an enabled recorder.
+    // Health/fault counters, trace lanes, and the insight analyzer need an
+    // enabled recorder.
     let mut cfg = ObserveConfig::from_env();
-    cfg.enabled = cfg.enabled || resilient || !args.faults.is_empty() || args.trace.is_some();
+    cfg.enabled = cfg.enabled
+        || resilient
+        || !args.faults.is_empty()
+        || args.trace.is_some()
+        || args.insight.is_some();
     let recorder = Recorder::new(cfg);
     if recorder.is_enabled() {
         deck.simulation.set_recorder(recorder.clone());
@@ -305,9 +334,51 @@ fn main() {
         }
     }
 
-    if args.faults.has_cluster_faults() {
-        if let Err(e) = run_faulted_cluster(&args, &recorder) {
-            fail(format!("cluster fault run failed: {e}"));
+    // The modeled 8-rank cluster runs when cluster faults need replaying
+    // and/or the insight analyzer needs per-rank stats.
+    let model_run = if args.faults.has_cluster_faults() || args.insight.is_some() {
+        match run_model_cluster(&args, &recorder) {
+            Ok(run) => Some(run),
+            Err(e) => fail(format!("modeled cluster run failed: {e}")),
+        }
+    } else {
+        None
+    };
+
+    let mut regressed = false;
+    if let Some(dir) = &args.insight {
+        let (result, model_steps) = model_run.as_ref().expect("insight forces a model run");
+        let mut report = insight::analyze(result, &recorder);
+        let obs = insight::observations(result, *model_steps);
+        let update = args.update_baselines;
+        if update && !args.faults.is_empty() {
+            fail("--update-baselines under --faults would poison the baseline; refusing");
+        }
+        match insight::check_regression(
+            &mut report,
+            &args.benchmark.to_string(),
+            &obs,
+            &args.baselines,
+            update,
+        ) {
+            Ok(r) => regressed = r,
+            Err(e) => fail(format!("regression check failed: {e}")),
+        }
+        if let Err(e) = insight::write_outputs(dir, &report, &recorder) {
+            fail(format!("cannot write insight outputs: {e}"));
+        }
+        println!("\n{}", report.render());
+        println!(
+            "wrote insight report to {} (report.txt, metrics.om, folded.txt)",
+            dir.display()
+        );
+        if update {
+            println!(
+                "updated baseline {}",
+                args.baselines
+                    .join(format!("{}.json", args.benchmark))
+                    .display()
+            );
         }
     }
 
@@ -337,26 +408,45 @@ fn main() {
     if let Some(d) = &dump {
         println!("wrote {} trajectory frames", d.frames());
     }
+    if regressed {
+        eprintln!("perf regression detected; exiting 3");
+        std::process::exit(3);
+    }
 }
 
-/// Replays the cluster-side fault schedule on a modeled 8-rank virtual
-/// cluster: stalls skew the faulted rank's clock (partners absorb it in
-/// MPI_Wait — the paper's Fig. 4/5 imbalance mechanism), halo faults cost
-/// extra link transfers. Per-rank lanes land in `--trace` output and the
-/// injections surface as `fault_*` counters.
-fn run_faulted_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<()> {
-    // Cover the whole schedule, plus slack so skew is visible downstream.
-    let horizon = args.faults.max_cluster_step().unwrap_or(0) + 10;
-    println!("\nmodeled 8-rank cluster under fault plan ({horizon} steps):");
+/// Simulated-window floor for the modeled cluster, so baseline comparisons
+/// always average over the same number of modeled steps regardless of the
+/// fault schedule's horizon.
+const MODEL_SIM_STEPS: u64 = 60;
+
+/// Runs the modeled 8-rank virtual cluster, replaying the cluster-side
+/// fault schedule if one is set: stalls skew the faulted rank's clock
+/// (partners absorb it in MPI_Wait — the paper's Fig. 4/5 imbalance
+/// mechanism), halo faults cost extra link transfers. Per-rank lanes land
+/// in `--trace` output, injections surface as `fault_*` counters, and
+/// per-rank ledgers plus critical-path records feed the insight analyzer.
+/// Returns the result and the modeled step count its ledgers are scaled to.
+fn run_model_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<(CpuRunResult, u64)> {
+    // Cover the whole fault schedule plus slack so skew is visible
+    // downstream, but never less than the fixed baseline window.
+    let horizon = args
+        .faults
+        .max_cluster_step()
+        .map_or(0, |s| s + 10)
+        .max(MODEL_SIM_STEPS);
+    println!("\nmodeled 8-rank cluster ({horizon} simulated steps):");
     let profile = WorkloadProfile::measure(args.benchmark, 20, 1)?;
     let (bx, x) = build_positions(args.benchmark, 1, DECK_SEED)?;
     let mut model = CpuModel::new();
     model.set_recorder(recorder.clone());
-    model.set_faults(Arc::new(args.faults.clone()));
+    if args.faults.has_cluster_faults() {
+        model.set_faults(Arc::new(args.faults.clone()));
+    }
     let opts = CpuRunOptions {
         ranks: 8,
         sim_steps: horizon,
         thermo_every: 10,
+        collect_rank_stats: args.insight.is_some(),
         ..CpuRunOptions::default()
     };
     let result = model.simulate(&profile, &bx, &x, &opts)?;
@@ -374,5 +464,5 @@ fn run_faulted_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<()> 
             println!("  {counter:<18} {v:.0}");
         }
     }
-    Ok(())
+    Ok((result, opts.steps))
 }

@@ -1,0 +1,161 @@
+//! Harness-side glue for md-insight: turns one modeled cluster run (plus
+//! whatever the recorder retained from the real-engine run) into the
+//! end-of-run characterization report, checks it against the per-deck
+//! baseline under `baselines/`, and writes the export artifacts
+//! (`report.txt`, `metrics.om`, `folded.txt`) for `--insight <dir>`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use md_core::TaskKind;
+use md_insight::{
+    folded_stacks, openmetrics, Baseline, Breakdown, CriticalPathSummary, ImbalanceReport,
+    InsightReport, MpiTable, RegressionConfig,
+};
+use md_model::CpuRunResult;
+use md_observe::Recorder;
+
+/// Builds the per-metric observations fed to the regression comparator:
+/// modeled per-step cost of every task that does per-step work, plus the
+/// total. Modeled costs are pure arithmetic over workload counts, so these
+/// values are bit-deterministic and host-independent — safe to compare
+/// against committed baselines.
+pub fn observations(result: &CpuRunResult, steps: u64) -> BTreeMap<String, f64> {
+    let steps = steps.max(1) as f64;
+    let mut obs = BTreeMap::new();
+    for (task, seconds) in result.tasks.iter() {
+        // Other holds one-time init cost, not per-step work.
+        if task != TaskKind::Other {
+            obs.insert(format!("step_seconds.{}", task.label()), seconds / steps);
+        }
+    }
+    obs.insert("step_seconds.total".to_string(), result.step_seconds);
+    obs
+}
+
+/// Assembles the analysis sections from a modeled run (which must have been
+/// produced with `collect_rank_stats`) and the recorder's retained step
+/// samples from the real-engine run, then finalizes the findings list.
+/// Regression is left to [`check_regression`] so callers without a
+/// baseline directory can still analyze.
+pub fn analyze(result: &CpuRunResult, recorder: &Recorder) -> InsightReport {
+    let snapshot = recorder.snapshot();
+    let mut report = InsightReport {
+        model_breakdown: Some(Breakdown::from_ledger(&result.tasks, 0)),
+        ..InsightReport::default()
+    };
+    if !snapshot.steps.is_empty() {
+        report.breakdown = Some(Breakdown::from_step_samples(&snapshot.steps));
+    }
+    if !result.rank_tasks.is_empty() {
+        report.imbalance = Some(ImbalanceReport::from_rank_ledgers(&result.rank_tasks));
+    }
+    if !result.rank_mpi.is_empty() {
+        report.mpi = Some(MpiTable::from_rank_ledgers(&result.rank_mpi));
+    }
+    if !result.critical_path.is_empty() {
+        report.critical = Some(CriticalPathSummary::from_steps(
+            &result.critical_path,
+            result.ranks,
+        ));
+    }
+    report.finalize();
+    report
+}
+
+/// Compares the observations against `baselines_dir/<deck>.json` and stores
+/// the verdict in the report (re-finalizing the findings). With `update`,
+/// the run is absorbed into the baseline and saved — callers must refuse to
+/// update when fault injection is active, or the baseline gets poisoned.
+/// Returns whether any metric regressed.
+pub fn check_regression(
+    report: &mut InsightReport,
+    deck: &str,
+    obs: &BTreeMap<String, f64>,
+    baselines_dir: &Path,
+    update: bool,
+) -> Result<bool, String> {
+    let cfg = RegressionConfig::default();
+    let mut baseline = Baseline::load(baselines_dir, deck)?.unwrap_or_else(|| Baseline::new(deck));
+    let regression = baseline.compare(obs, &cfg);
+    let regressed = regression.regressed;
+    report.regression = Some(regression);
+    report.finalize();
+    if update {
+        baseline.absorb(obs, &cfg);
+        baseline.save(baselines_dir)?;
+    }
+    Ok(regressed)
+}
+
+/// Writes the `--insight <dir>` artifacts: the rendered report, an
+/// OpenMetrics snapshot (after publishing the report's headline gauges),
+/// and folded stacks for flamegraph tooling.
+pub fn write_outputs(
+    dir: &Path,
+    report: &InsightReport,
+    recorder: &Recorder,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    report.publish_counters(recorder);
+    let snapshot = recorder.snapshot();
+    for (name, content) in [
+        ("report.txt", report.render()),
+        ("metrics.om", openmetrics(&snapshot)),
+        ("folded.txt", folded_stacks(&snapshot)),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_model::{CpuModel, CpuRunOptions, WorkloadProfile};
+    use md_observe::ObserveConfig;
+    use md_workloads::{build_positions, Benchmark};
+
+    fn modeled_run(recorder: &Recorder) -> CpuRunResult {
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 10, 1).expect("profile");
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).expect("positions");
+        let mut model = CpuModel::new();
+        model.set_recorder(recorder.clone());
+        let opts = CpuRunOptions {
+            ranks: 4,
+            sim_steps: 20,
+            thermo_every: 10,
+            collect_rank_stats: true,
+            ..CpuRunOptions::default()
+        };
+        model.simulate(&profile, &bx, &x, &opts).expect("simulate")
+    }
+
+    #[test]
+    fn analyze_produces_every_model_section() {
+        let recorder = Recorder::new(ObserveConfig::default());
+        let result = modeled_run(&recorder);
+        let report = analyze(&result, &recorder);
+        assert!(report.model_breakdown.is_some());
+        assert!(report.imbalance.is_some());
+        assert!(report.mpi.is_some());
+        assert!(report.critical.is_some());
+        assert!(!report.findings.is_empty());
+        assert!(
+            !report.has_critical(),
+            "healthy run has no critical finding"
+        );
+    }
+
+    #[test]
+    fn observations_are_per_step_and_deterministic() {
+        let recorder = Recorder::new(ObserveConfig::default());
+        let a = observations(&modeled_run(&recorder), 10_000);
+        let b = observations(&modeled_run(&recorder), 10_000);
+        assert_eq!(a, b, "modeled costs are bit-deterministic");
+        assert!(a.contains_key("step_seconds.Pair"));
+        assert!(a.contains_key("step_seconds.total"));
+        assert!(!a.contains_key("step_seconds.Other"), "init cost excluded");
+    }
+}

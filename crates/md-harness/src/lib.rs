@@ -23,6 +23,7 @@
 
 pub mod context;
 pub mod figures;
+pub mod insight;
 pub mod render;
 pub mod tables;
 

@@ -1,0 +1,425 @@
+//! Per-task bottleneck attribution and load-imbalance metrics.
+//!
+//! Three views, all over the eight-task LAMMPS taxonomy:
+//!
+//! - [`Breakdown`]: where the time went (shares + dominant task), from
+//!   either a [`TaskLedger`] or a window of [`StepSample`]s (Fig. 3).
+//! - [`ImbalanceReport`]: per-task spread across virtual ranks using the
+//!   LAMMPS `%varavg` convention — `100 · (max − avg) / avg` — plus a
+//!   suspect-rank attribution based on per-rank *compute* time (waiting
+//!   shows up as `Comm` on the healthy ranks, so the culprit is the rank
+//!   whose non-communication time sticks out, not the ones stuck in
+//!   `MPI_Wait`).
+//! - [`MpiTable`]: per-MPI-function overhead across ranks (Figs. 4–5).
+
+use md_core::{TaskKind, TaskLedger};
+use md_observe::StepSample;
+use md_parallel::{MpiFunction, MpiLedger};
+
+/// A rank whose compute time exceeds the mean by more than this fraction is
+/// flagged as the imbalance suspect.
+pub const SUSPECT_EXCESS_THRESHOLD: f64 = 0.05;
+
+/// One task's share of a breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskShare {
+    /// The task.
+    pub task: TaskKind,
+    /// Seconds attributed to it.
+    pub seconds: f64,
+    /// Share of the task total, 0..=100.
+    pub percent: f64,
+}
+
+/// Where the time went: per-task shares plus the dominant task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Shares in [`TaskKind::ALL`] (legend) order; percents sum to ~100.
+    pub shares: Vec<TaskShare>,
+    /// Sum over all tasks, seconds.
+    pub total_seconds: f64,
+    /// The task with the largest share.
+    pub dominant: TaskKind,
+    /// Its share, 0..=100.
+    pub dominant_percent: f64,
+    /// Steps the breakdown covers (0 when built from a bare ledger).
+    pub steps: usize,
+}
+
+impl Breakdown {
+    fn from_seconds(seconds: [f64; 8], steps: usize) -> Breakdown {
+        let total: f64 = seconds.iter().sum();
+        let shares: Vec<TaskShare> = TaskKind::ALL
+            .iter()
+            .zip(seconds)
+            .map(|(&task, s)| TaskShare {
+                task,
+                seconds: s,
+                percent: if total > 0.0 { 100.0 * s / total } else { 0.0 },
+            })
+            .collect();
+        let top = shares
+            .iter()
+            .max_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite"))
+            .expect("eight tasks");
+        Breakdown {
+            dominant: top.task,
+            dominant_percent: top.percent,
+            shares,
+            total_seconds: total,
+            steps,
+        }
+    }
+
+    /// Breakdown of an accumulated ledger (`steps` is informational).
+    pub fn from_ledger(ledger: &TaskLedger, steps: usize) -> Breakdown {
+        let mut seconds = [0.0; 8];
+        for (i, (_, s)) in ledger.iter().enumerate() {
+            seconds[i] = s;
+        }
+        Breakdown::from_seconds(seconds, steps)
+    }
+
+    /// Breakdown summed over a window of per-step samples.
+    pub fn from_step_samples(samples: &[StepSample]) -> Breakdown {
+        let mut seconds = [0.0; 8];
+        for s in samples {
+            for (acc, v) in seconds.iter_mut().zip(&s.task_seconds) {
+                *acc += v;
+            }
+        }
+        Breakdown::from_seconds(seconds, samples.len())
+    }
+}
+
+/// Rolling dominant-task detection: for each full window of `window`
+/// samples, the task with the largest summed share, tagged with the step
+/// index at the window's end. Adjacent equal entries are collapsed, so the
+/// result reads as "Pair dominated until step 40, then Kspace took over".
+pub fn rolling_dominant(samples: &[StepSample], window: usize) -> Vec<(u64, TaskKind)> {
+    let window = window.max(1);
+    let mut out: Vec<(u64, TaskKind)> = Vec::new();
+    for chunk in samples.chunks(window) {
+        if chunk.len() < window && !out.is_empty() {
+            break; // ignore a short tail once we have full windows
+        }
+        let b = Breakdown::from_step_samples(chunk);
+        if b.total_seconds <= 0.0 {
+            continue;
+        }
+        let end_step = chunk.last().expect("non-empty chunk").step;
+        match out.last() {
+            Some(&(_, t)) if t == b.dominant => {
+                let last = out.last_mut().expect("non-empty");
+                last.0 = end_step;
+            }
+            _ => out.push((end_step, b.dominant)),
+        }
+    }
+    out
+}
+
+/// One task's spread across ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskImbalance {
+    /// The task.
+    pub task: TaskKind,
+    /// Mean seconds across ranks.
+    pub avg: f64,
+    /// Maximum across ranks.
+    pub max: f64,
+    /// Minimum across ranks.
+    pub min: f64,
+    /// LAMMPS-style `%varavg`: `100 · (max − avg) / avg` (0 when avg = 0).
+    pub varavg_percent: f64,
+}
+
+/// Load-imbalance attribution across virtual ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImbalanceReport {
+    /// Rank count.
+    pub nranks: usize,
+    /// Per-task spread, [`TaskKind::ALL`] order.
+    pub per_task: Vec<TaskImbalance>,
+    /// Per-rank compute seconds (total minus `Comm` minus `Other`): the
+    /// waiting that imbalance *causes* is excluded so the rank that causes
+    /// it stands out.
+    pub rank_compute_seconds: Vec<f64>,
+    /// Rank whose compute time exceeds the mean by more than
+    /// [`SUSPECT_EXCESS_THRESHOLD`], if any (the imbalance source).
+    pub suspect_rank: Option<usize>,
+    /// That rank's excess over the mean, percent.
+    pub suspect_excess_percent: f64,
+    /// The compute task with the worst `%varavg` among tasks carrying at
+    /// least 1% of the mean compute time.
+    pub worst_task: Option<TaskKind>,
+    /// Its `%varavg`.
+    pub worst_varavg_percent: f64,
+}
+
+impl ImbalanceReport {
+    /// Computes the spread of per-rank ledgers (e.g.
+    /// `CpuRunResult::rank_tasks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ledgers` is empty.
+    pub fn from_rank_ledgers(ledgers: &[TaskLedger]) -> ImbalanceReport {
+        assert!(!ledgers.is_empty(), "imbalance needs at least one rank");
+        let n = ledgers.len() as f64;
+        let per_task: Vec<TaskImbalance> = TaskKind::ALL
+            .iter()
+            .map(|&task| {
+                let mut sum = 0.0;
+                let mut max = f64::MIN;
+                let mut min = f64::MAX;
+                for l in ledgers {
+                    let s = l.seconds(task);
+                    sum += s;
+                    max = max.max(s);
+                    min = min.min(s);
+                }
+                let avg = sum / n;
+                TaskImbalance {
+                    task,
+                    avg,
+                    max,
+                    min,
+                    varavg_percent: if avg > 0.0 {
+                        100.0 * (max - avg) / avg
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        let rank_compute_seconds: Vec<f64> = ledgers
+            .iter()
+            .map(|l| l.total() - l.seconds(TaskKind::Comm) - l.seconds(TaskKind::Other))
+            .collect();
+        let mean = rank_compute_seconds.iter().sum::<f64>() / n;
+        let (max_rank, max_compute) = rank_compute_seconds
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite compute"))
+            .expect("non-empty");
+        let excess = if mean > 0.0 {
+            (max_compute - mean) / mean
+        } else {
+            0.0
+        };
+        let suspect_rank = (excess > SUSPECT_EXCESS_THRESHOLD).then_some(max_rank);
+
+        let mean_compute_total = mean.max(f64::MIN_POSITIVE);
+        let worst = per_task
+            .iter()
+            .filter(|t| {
+                t.task != TaskKind::Comm
+                    && t.task != TaskKind::Other
+                    && t.avg > 0.01 * mean_compute_total
+            })
+            .max_by(|a, b| {
+                a.varavg_percent
+                    .partial_cmp(&b.varavg_percent)
+                    .expect("finite varavg")
+            });
+        ImbalanceReport {
+            nranks: ledgers.len(),
+            suspect_rank,
+            suspect_excess_percent: 100.0 * excess,
+            worst_task: worst.map(|t| t.task),
+            worst_varavg_percent: worst.map_or(0.0, |t| t.varavg_percent),
+            per_task,
+            rank_compute_seconds,
+        }
+    }
+}
+
+/// One MPI function's overhead across ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpiRow {
+    /// The function.
+    pub function: MpiFunction,
+    /// Mean seconds across ranks.
+    pub mean_seconds: f64,
+    /// Maximum seconds on any rank.
+    pub max_seconds: f64,
+    /// Share of mean total MPI time, 0..=100.
+    pub percent_of_mpi: f64,
+}
+
+/// Per-MPI-function overhead table (the Figs. 4–5 view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpiTable {
+    /// Rows in [`MpiFunction::ALL`] (legend) order.
+    pub rows: Vec<MpiRow>,
+    /// Mean total MPI seconds per rank.
+    pub total_mean_seconds: f64,
+    /// Mean skew-wait seconds per rank (the paper's "MPI imbalance").
+    pub skew_mean_seconds: f64,
+}
+
+impl MpiTable {
+    /// Builds the table from per-rank MPI ledgers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ledgers` is empty.
+    pub fn from_rank_ledgers(ledgers: &[MpiLedger]) -> MpiTable {
+        assert!(!ledgers.is_empty(), "MPI table needs at least one rank");
+        let n = ledgers.len() as f64;
+        let total_mean = ledgers.iter().map(MpiLedger::total).sum::<f64>() / n;
+        let skew_mean = ledgers.iter().map(MpiLedger::skew_seconds).sum::<f64>() / n;
+        let rows = MpiFunction::ALL
+            .iter()
+            .map(|&function| {
+                let mut sum = 0.0;
+                let mut max = 0.0f64;
+                for l in ledgers {
+                    let s = l.seconds(function);
+                    sum += s;
+                    max = max.max(s);
+                }
+                let mean = sum / n;
+                MpiRow {
+                    function,
+                    mean_seconds: mean,
+                    max_seconds: max,
+                    percent_of_mpi: if total_mean > 0.0 {
+                        100.0 * mean / total_mean
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        MpiTable {
+            rows,
+            total_mean_seconds: total_mean,
+            skew_mean_seconds: skew_mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(pairs: &[(TaskKind, f64)]) -> TaskLedger {
+        let mut l = TaskLedger::new();
+        for &(t, s) in pairs {
+            l.add(t, s);
+        }
+        l
+    }
+
+    #[test]
+    fn breakdown_finds_the_dominant_task() {
+        let l = ledger(&[(TaskKind::Pair, 8.0), (TaskKind::Neigh, 2.0)]);
+        let b = Breakdown::from_ledger(&l, 100);
+        assert_eq!(b.dominant, TaskKind::Pair);
+        assert!((b.dominant_percent - 80.0).abs() < 1e-12);
+        assert!((b.total_seconds - 10.0).abs() < 1e-12);
+        let sum: f64 = b.shares.iter().map(|s| s.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_from_step_samples_sums_the_window() {
+        let mut s1 = StepSample::default();
+        s1.task_seconds[TaskKind::Pair.index()] = 2.0;
+        let mut s2 = StepSample::default();
+        s2.task_seconds[TaskKind::Kspace.index()] = 5.0;
+        let b = Breakdown::from_step_samples(&[s1, s2]);
+        assert_eq!(b.steps, 2);
+        assert_eq!(b.dominant, TaskKind::Kspace);
+        assert!((b.total_seconds - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_dominant_tracks_regime_changes() {
+        let mut samples = Vec::new();
+        for step in 0..20u64 {
+            let mut s = StepSample {
+                step,
+                ..StepSample::default()
+            };
+            if step < 10 {
+                s.task_seconds[TaskKind::Pair.index()] = 1.0;
+            } else {
+                s.task_seconds[TaskKind::Kspace.index()] = 1.0;
+            }
+            samples.push(s);
+        }
+        let regimes = rolling_dominant(&samples, 5);
+        assert_eq!(
+            regimes,
+            vec![(9, TaskKind::Pair), (19, TaskKind::Kspace)],
+            "adjacent equal windows collapse"
+        );
+    }
+
+    #[test]
+    fn varavg_matches_the_lammps_definition() {
+        // Ranks spend 1, 1, 1, 5 seconds in Pair: avg 2, max 5.
+        let ledgers: Vec<TaskLedger> = [1.0, 1.0, 1.0, 5.0]
+            .iter()
+            .map(|&s| ledger(&[(TaskKind::Pair, s)]))
+            .collect();
+        let r = ImbalanceReport::from_rank_ledgers(&ledgers);
+        let pair = &r.per_task[TaskKind::Pair.index()];
+        assert!(
+            (pair.varavg_percent - 150.0).abs() < 1e-9,
+            "%varavg = 100·(5−2)/2"
+        );
+        assert_eq!(pair.max, 5.0);
+        assert_eq!(pair.min, 1.0);
+        assert_eq!(r.suspect_rank, Some(3));
+        assert!((r.suspect_excess_percent - 150.0).abs() < 1e-9);
+        assert_eq!(r.worst_task, Some(TaskKind::Pair));
+    }
+
+    #[test]
+    fn waiting_ranks_are_not_the_suspect() {
+        // Rank 0 computes 4 s; ranks 1–3 compute 1 s and wait 3 s in Comm.
+        // The suspect must be the slow computer, not the waiters.
+        let ledgers = vec![
+            ledger(&[(TaskKind::Pair, 4.0)]),
+            ledger(&[(TaskKind::Pair, 1.0), (TaskKind::Comm, 3.0)]),
+            ledger(&[(TaskKind::Pair, 1.0), (TaskKind::Comm, 3.0)]),
+            ledger(&[(TaskKind::Pair, 1.0), (TaskKind::Comm, 3.0)]),
+        ];
+        let r = ImbalanceReport::from_rank_ledgers(&ledgers);
+        assert_eq!(r.suspect_rank, Some(0));
+    }
+
+    #[test]
+    fn balanced_ranks_have_no_suspect() {
+        let ledgers = vec![ledger(&[(TaskKind::Pair, 2.0)]); 4];
+        let r = ImbalanceReport::from_rank_ledgers(&ledgers);
+        assert_eq!(r.suspect_rank, None);
+        assert_eq!(r.per_task[TaskKind::Pair.index()].varavg_percent, 0.0);
+    }
+
+    #[test]
+    fn mpi_table_means_and_shares() {
+        let mut a = MpiLedger::new();
+        a.add(MpiFunction::Wait, 3.0);
+        a.add_skew(3.0);
+        let mut b = MpiLedger::new();
+        b.add(MpiFunction::Sendrecv, 1.0);
+        let t = MpiTable::from_rank_ledgers(&[a, b]);
+        assert!((t.total_mean_seconds - 2.0).abs() < 1e-12);
+        assert!((t.skew_mean_seconds - 1.5).abs() < 1e-12);
+        let wait = t
+            .rows
+            .iter()
+            .find(|r| r.function == MpiFunction::Wait)
+            .unwrap();
+        assert!((wait.mean_seconds - 1.5).abs() < 1e-12);
+        assert_eq!(wait.max_seconds, 3.0);
+        assert!((wait.percent_of_mpi - 75.0).abs() < 1e-9);
+    }
+}

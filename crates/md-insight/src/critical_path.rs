@@ -1,0 +1,154 @@
+//! Critical-path summarization over the virtual cluster's step records.
+//!
+//! [`md_parallel::VirtualCluster`] with step tracking enabled emits one
+//! [`CriticalStep`] per timestep: the rank whose clock bounded the step
+//! (the frontier), how far the frontier advanced, and that rank's dominant
+//! task during the step. This module folds those records into a summary —
+//! which rank/task chain the run actually waited on.
+
+use md_core::TaskKind;
+use md_parallel::CriticalStep;
+
+/// Aggregated view of a run's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathSummary {
+    /// Steps covered.
+    pub steps: usize,
+    /// Total frontier advance, seconds (the run's simulated wall time over
+    /// the tracked window).
+    pub total_seconds: f64,
+    /// Steps bounded by each rank, indexed by rank.
+    pub rank_bound_steps: Vec<u64>,
+    /// Critical-path seconds attributed to each rank.
+    pub rank_bound_seconds: Vec<f64>,
+    /// Critical-path seconds attributed to each task, [`TaskKind::ALL`]
+    /// order (by the bounding rank's dominant task).
+    pub task_bound_seconds: [f64; 8],
+    /// Rank carrying the most critical-path time, with its seconds.
+    pub top_rank: Option<(usize, f64)>,
+    /// Task carrying the most critical-path time, with its seconds.
+    pub top_task: Option<(TaskKind, f64)>,
+}
+
+impl CriticalPathSummary {
+    /// Folds the per-step records. `nranks` sizes the per-rank vectors even
+    /// when some ranks never bound a step.
+    pub fn from_steps(steps: &[CriticalStep], nranks: usize) -> CriticalPathSummary {
+        let width = steps
+            .iter()
+            .map(|s| s.rank + 1)
+            .max()
+            .unwrap_or(0)
+            .max(nranks);
+        let mut rank_bound_steps = vec![0u64; width];
+        let mut rank_bound_seconds = vec![0.0f64; width];
+        let mut task_bound_seconds = [0.0f64; 8];
+        let mut total = 0.0;
+        for s in steps {
+            rank_bound_steps[s.rank] += 1;
+            rank_bound_seconds[s.rank] += s.seconds;
+            task_bound_seconds[s.task.index()] += s.seconds;
+            total += s.seconds;
+        }
+        let top_rank = rank_bound_seconds
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite seconds"))
+            .filter(|&(_, s)| s > 0.0);
+        let top_task = TaskKind::ALL
+            .iter()
+            .map(|&t| (t, task_bound_seconds[t.index()]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite seconds"))
+            .filter(|&(_, s)| s > 0.0);
+        CriticalPathSummary {
+            steps: steps.len(),
+            total_seconds: total,
+            rank_bound_steps,
+            rank_bound_seconds,
+            task_bound_seconds,
+            top_rank,
+            top_task,
+        }
+    }
+
+    /// Renders a fixed-width summary table (rank rows, then task rows).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: {} steps, {:.6} s simulated\n",
+            self.steps, self.total_seconds
+        ));
+        out.push_str("rank   bound-steps   bound-seconds   share\n");
+        for (rank, (&n, &s)) in self
+            .rank_bound_steps
+            .iter()
+            .zip(&self.rank_bound_seconds)
+            .enumerate()
+        {
+            let share = if self.total_seconds > 0.0 {
+                100.0 * s / self.total_seconds
+            } else {
+                0.0
+            };
+            out.push_str(&format!("{rank:<6} {n:>11} {s:>15.6} {share:>6.1}%\n"));
+        }
+        out.push_str("task     bound-seconds   share\n");
+        for &task in TaskKind::ALL.iter() {
+            let s = self.task_bound_seconds[task.index()];
+            let share = if self.total_seconds > 0.0 {
+                100.0 * s / self.total_seconds
+            } else {
+                0.0
+            };
+            out.push_str(&format!("{:<8} {s:>13.6} {share:>6.1}%\n", task.label()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(step: u64, rank: usize, seconds: f64, task: TaskKind) -> CriticalStep {
+        CriticalStep {
+            step,
+            rank,
+            seconds,
+            task,
+            task_seconds: seconds,
+        }
+    }
+
+    #[test]
+    fn summary_attributes_steps_and_seconds() {
+        let steps = vec![
+            step(0, 1, 2.0, TaskKind::Pair),
+            step(1, 1, 1.0, TaskKind::Pair),
+            step(2, 0, 0.5, TaskKind::Kspace),
+        ];
+        let s = CriticalPathSummary::from_steps(&steps, 4);
+        assert_eq!(s.steps, 3);
+        assert!((s.total_seconds - 3.5).abs() < 1e-12);
+        assert_eq!(s.rank_bound_steps, vec![1, 2, 0, 0]);
+        assert!((s.rank_bound_seconds[1] - 3.0).abs() < 1e-12);
+        assert_eq!(s.top_rank, Some((1, 3.0)));
+        let (task, secs) = s.top_task.unwrap();
+        assert_eq!(task, TaskKind::Pair);
+        assert!((secs - 3.0).abs() < 1e-12);
+        let render = s.render();
+        assert!(render.contains("critical path: 3 steps"));
+        assert!(render.contains("Pair"));
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_summary() {
+        let s = CriticalPathSummary::from_steps(&[], 2);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.total_seconds, 0.0);
+        assert_eq!(s.rank_bound_steps, vec![0, 0]);
+        assert_eq!(s.top_rank, None);
+        assert_eq!(s.top_task, None);
+    }
+}

@@ -1,0 +1,343 @@
+//! Exporters: OpenMetrics text snapshots and folded-stack (flamegraph)
+//! output from an [`ObserveSnapshot`], plus strict parsers for both so
+//! round-trips can be asserted in tests and CI.
+
+use std::collections::BTreeMap;
+
+use md_observe::{ObserveSnapshot, Phase, TASK_LABELS};
+
+/// Prefix stamped on every exported metric family.
+const METRIC_PREFIX: &str = "md_";
+
+/// One parsed OpenMetrics sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenMetric {
+    /// Family name (including the `md_` prefix).
+    pub name: String,
+    /// Label key/value pairs, sorted by key.
+    pub labels: BTreeMap<String, String>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn metric_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.9e}")
+    }
+}
+
+/// Renders an OpenMetrics text snapshot: every counter and gauge as a
+/// gauge family, every histogram as a summary family (quantiles plus
+/// `_count` and `_sum`), and per-task totals summed from the retained step
+/// samples as `md_task_seconds{task="..."}`. Ends with the mandatory `# EOF`.
+pub fn openmetrics(snapshot: &ObserveSnapshot) -> String {
+    let mut out = String::new();
+    for (&name, &value) in &snapshot.counters {
+        let family = format!("{METRIC_PREFIX}{name}");
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        out.push_str(&format!("{family} {}\n", fmt_value(value)));
+    }
+    for (&name, summary) in &snapshot.hists {
+        let family = format!("{METRIC_PREFIX}{name}");
+        out.push_str(&format!("# TYPE {family} summary\n"));
+        for (q, v) in [
+            ("0.5", summary.p50),
+            ("0.95", summary.p95),
+            ("0.99", summary.p99),
+        ] {
+            out.push_str(&format!("{family}{{quantile=\"{q}\"}} {}\n", fmt_value(v)));
+        }
+        out.push_str(&format!(
+            "{family}_count {}\n",
+            fmt_value(summary.count as f64)
+        ));
+        out.push_str(&format!(
+            "{family}_sum {}\n",
+            fmt_value(summary.mean * summary.count as f64)
+        ));
+    }
+    if !snapshot.steps.is_empty() {
+        let mut task_totals = [0.0f64; 8];
+        for s in &snapshot.steps {
+            for (acc, v) in task_totals.iter_mut().zip(&s.task_seconds) {
+                *acc += v;
+            }
+        }
+        let family = format!("{METRIC_PREFIX}task_seconds");
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (label, total) in TASK_LABELS.iter().zip(task_totals) {
+            out.push_str(&format!(
+                "{family}{{task=\"{label}\"}} {}\n",
+                fmt_value(total)
+            ));
+        }
+        let steps_family = format!("{METRIC_PREFIX}steps_retained");
+        out.push_str(&format!("# TYPE {steps_family} gauge\n"));
+        out.push_str(&format!(
+            "{steps_family} {}\n",
+            fmt_value(snapshot.steps.len() as f64)
+        ));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Strictly parses an OpenMetrics text snapshot produced by
+/// [`openmetrics`]: validates metric-name charset and label syntax and
+/// requires the terminal `# EOF` line.
+pub fn parse_openmetrics(text: &str) -> Result<Vec<OpenMetric>, String> {
+    let mut metrics = Vec::new();
+    let mut saw_eof = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if line.starts_with('#') {
+            let mut parts = line.split_whitespace();
+            let (hash, kind) = (parts.next(), parts.next());
+            if hash != Some("#") || !matches!(kind, Some("TYPE" | "HELP" | "UNIT")) {
+                return Err(format!("line {n}: malformed comment {line:?}"));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            return Err(format!("line {n}: blank line not allowed"));
+        }
+        let (series, value_str) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: missing value"))?;
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {n}: bad value {value_str:?}"))?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                let mut labels = BTreeMap::new();
+                for pair in body.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {n}: bad label {pair:?}"))?;
+                    if !metric_name_ok(k) {
+                        return Err(format!("line {n}: bad label name {k:?}"));
+                    }
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {n}: unquoted label value {v:?}"))?;
+                    labels.insert(k.to_string(), v.to_string());
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if !metric_name_ok(&name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        metrics.push(OpenMetric {
+            name,
+            labels,
+            value,
+        });
+    }
+    if !saw_eof {
+        return Err("missing terminal # EOF".to_string());
+    }
+    Ok(metrics)
+}
+
+/// Renders folded stacks (flamegraph collapse format) from the snapshot's
+/// span events: per lane, spans are nested by time containment, each
+/// frame's *self* time (duration minus children) becomes one
+/// `lane;outer;inner <integer µs>` line. Lines are aggregated and sorted
+/// for determinism.
+pub fn folded_stacks(snapshot: &ObserveSnapshot) -> String {
+    let mut lanes: BTreeMap<u32, Vec<(f64, f64, &'static str)>> = BTreeMap::new();
+    for e in &snapshot.events {
+        if e.phase == Phase::Span && e.dur_us > 0.0 {
+            lanes
+                .entry(e.lane)
+                .or_default()
+                .push((e.ts_us, e.dur_us, e.name));
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (lane, mut spans) in lanes {
+        // Sort by start ascending; ties widest-first so parents precede
+        // their children in the containment scan.
+        spans.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite ts")
+                .then(b.1.partial_cmp(&a.1).expect("finite dur"))
+        });
+        let lane_name = snapshot
+            .lanes
+            .get(&lane)
+            .cloned()
+            .unwrap_or_else(|| format!("lane{lane}"));
+        // Stack of open frames: (start_us, end_us, children_us, path).
+        struct Frame {
+            start: f64,
+            end: f64,
+            children_us: f64,
+            path: String,
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        fn emit(folded: &mut BTreeMap<String, u64>, frame: Frame) {
+            let self_us = ((frame.end - frame.start) - frame.children_us)
+                .max(0.0)
+                .round() as u64;
+            if self_us > 0 {
+                *folded.entry(frame.path).or_default() += self_us;
+            }
+        }
+        const EPS: f64 = 1e-6;
+        for (ts, dur, name) in spans {
+            while stack.last().is_some_and(|top| ts >= top.end - EPS) {
+                let frame = stack.pop().expect("non-empty");
+                emit(&mut folded, frame);
+            }
+            let path = match stack.last() {
+                Some(top) => format!("{};{name}", top.path),
+                None => format!("{lane_name};{name}"),
+            };
+            if let Some(top) = stack.last_mut() {
+                top.children_us += dur;
+            }
+            stack.push(Frame {
+                start: ts,
+                end: ts + dur,
+                children_us: 0.0,
+                path,
+            });
+        }
+        while let Some(frame) = stack.pop() {
+            emit(&mut folded, frame);
+        }
+    }
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&format!("{path} {us}\n"));
+    }
+    out
+}
+
+/// Strictly parses folded-stack output: every line must be
+/// `frame(;frame)* <non-negative integer>` with non-empty frames.
+pub fn parse_folded(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let (path, count_str) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: missing sample count"))?;
+        let count: u64 = count_str
+            .parse()
+            .map_err(|_| format!("line {n}: bad sample count {count_str:?}"))?;
+        let frames: Vec<String> = path.split(';').map(str::to_string).collect();
+        if frames.iter().any(String::is_empty) {
+            return Err(format!("line {n}: empty frame in {path:?}"));
+        }
+        out.push((frames, count));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_observe::{ObserveConfig, Recorder};
+
+    fn snapshot_with_activity() -> ObserveSnapshot {
+        let rec = Recorder::new(ObserveConfig::default());
+        rec.count(0, "insight_findings", 3.0);
+        rec.gauge(0, "imbalance_worst_varavg_pct", 37.5);
+        rec.observe("health_step_seconds", 0.004);
+        rec.observe("health_step_seconds", 0.006);
+        rec.set_lane_name(0, "engine");
+        // engine lane: step span containing two task spans.
+        rec.record_span_at(0, "task", "step", 0.0, 100.0);
+        rec.record_span_at(0, "task", "Pair", 0.0, 60.0);
+        rec.record_span_at(0, "task", "Neigh", 60.0, 30.0);
+        let mut sample = md_observe::StepSample::default();
+        sample.task_seconds[0] = 0.25;
+        rec.push_step(sample);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn openmetrics_round_trips_through_the_strict_parser() {
+        let text = openmetrics(&snapshot_with_activity());
+        assert!(text.ends_with("# EOF\n"));
+        let metrics = parse_openmetrics(&text).expect("round-trip");
+        let find = |name: &str| -> Vec<&OpenMetric> {
+            metrics.iter().filter(|m| m.name == name).collect()
+        };
+        assert_eq!(find("md_insight_findings")[0].value, 3.0);
+        assert_eq!(find("md_imbalance_worst_varavg_pct")[0].value, 37.5);
+        let quantiles = find("md_health_step_seconds");
+        assert_eq!(quantiles.len(), 3, "p50/p95/p99");
+        assert_eq!(find("md_health_step_seconds_count")[0].value, 2.0);
+        let task_rows = find("md_task_seconds");
+        assert_eq!(task_rows.len(), 8);
+        assert_eq!(task_rows[0].labels["task"], "Bond");
+    }
+
+    #[test]
+    fn openmetrics_parser_rejects_malformed_input() {
+        assert!(parse_openmetrics("md_x 1.0\n").is_err(), "missing EOF");
+        assert!(parse_openmetrics("bad-name 1.0\n# EOF\n").is_err());
+        assert!(parse_openmetrics("md_x{q=unquoted} 1.0\n# EOF\n").is_err());
+        assert!(parse_openmetrics("md_x notanumber\n# EOF\n").is_err());
+        assert!(
+            parse_openmetrics("# EOF\nmd_x 1.0\n").is_err(),
+            "trailing content"
+        );
+        assert!(parse_openmetrics("# BOGUS md_x gauge\n# EOF\n").is_err());
+        assert!(
+            parse_openmetrics("# EOF\n").is_ok(),
+            "empty snapshot is valid"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_nest_by_containment_and_report_self_time() {
+        let text = folded_stacks(&snapshot_with_activity());
+        let parsed = parse_folded(&text).expect("round-trip");
+        let get = |path: &[&str]| -> Option<u64> {
+            parsed
+                .iter()
+                .find(|(frames, _)| frames == path)
+                .map(|&(_, c)| c)
+        };
+        // step spans 0..100 with children 0..60 and 60..90: 10 µs self.
+        assert_eq!(get(&["engine", "step"]), Some(10));
+        assert_eq!(get(&["engine", "step", "Pair"]), Some(60));
+        assert_eq!(get(&["engine", "step", "Neigh"]), Some(30));
+    }
+
+    #[test]
+    fn folded_parser_rejects_malformed_lines() {
+        assert!(parse_folded("engine;step 10\n").is_ok());
+        assert!(parse_folded("nospace\n").is_err());
+        assert!(parse_folded("engine;step ten\n").is_err());
+        assert!(parse_folded("engine;;step 10\n").is_err(), "empty frame");
+        assert!(parse_folded("engine;step -4\n").is_err(), "negative count");
+    }
+}

@@ -1,0 +1,415 @@
+//! Perf-regression detection against stored per-deck baselines.
+//!
+//! A [`Baseline`] is a JSON record of per-metric EWMA mean/variance kept
+//! under a `baselines/` directory, one file per deck. Fresh observations
+//! are compared with a z-score test (sigma floored at a fraction of the
+//! mean so a noiseless baseline still tolerates small drift) plus a
+//! minimum relative delta, producing a structured [`RegressionReport`].
+//! [`Baseline::absorb`] folds an accepted run back in with EWMA updates.
+//!
+//! The modeled per-task step costs fed in by the harness are pure
+//! arithmetic over workload counts — bit-deterministic and host-independent
+//! — so committed baselines compare exactly across machines.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use md_observe::json::{escape, Json};
+
+/// Tuning knobs for the comparator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionConfig {
+    /// EWMA weight of the newest observation when absorbing, 0..=1.
+    pub alpha: f64,
+    /// z-score above which a delta is significant.
+    pub z_threshold: f64,
+    /// Minimum relative delta (|new − mean| / mean) to flag, so tiny but
+    /// statistically "significant" drifts don't fail CI.
+    pub min_rel_delta: f64,
+    /// Sigma floor as a fraction of |mean| (guards var = 0 baselines).
+    pub rel_floor: f64,
+}
+
+impl Default for RegressionConfig {
+    fn default() -> RegressionConfig {
+        RegressionConfig {
+            alpha: 0.3,
+            z_threshold: 4.0,
+            min_rel_delta: 0.10,
+            rel_floor: 0.02,
+        }
+    }
+}
+
+/// One metric's stored statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricBaseline {
+    /// EWMA mean.
+    pub mean: f64,
+    /// EWMA variance.
+    pub var: f64,
+    /// Runs folded in.
+    pub samples: u64,
+}
+
+/// Per-deck baseline: a named set of metric statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Baseline {
+    /// Deck name (e.g. `lj`).
+    pub deck: String,
+    /// Metric name → statistics, sorted for stable serialization.
+    pub metrics: BTreeMap<String, MetricBaseline>,
+}
+
+/// Verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Significantly slower than the baseline.
+    Regressed,
+    /// Significantly faster than the baseline.
+    Improved,
+    /// Metric absent from the baseline.
+    New,
+}
+
+impl Verdict {
+    /// Uppercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "OK",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "IMPROVED",
+            Verdict::New => "NEW",
+        }
+    }
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricVerdict {
+    /// Metric name.
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Observed value.
+    pub observed: f64,
+    /// Baseline mean (0 for [`Verdict::New`]).
+    pub baseline_mean: f64,
+    /// Relative delta vs the baseline mean (0 for new metrics).
+    pub rel_delta: f64,
+    /// z-score of the delta (0 for new metrics).
+    pub z: f64,
+}
+
+/// Structured result of comparing a run against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Deck compared.
+    pub deck: String,
+    /// Per-metric outcomes, in metric-name order.
+    pub verdicts: Vec<MetricVerdict>,
+    /// True when any metric regressed.
+    pub regressed: bool,
+}
+
+impl RegressionReport {
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = format!("regression check: deck {}\n", self.deck);
+        out.push_str("metric                        verdict     observed     baseline    delta\n");
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{:<28} {:<10} {:>12.6} {:>12.6} {:>+7.1}%\n",
+                v.name,
+                v.verdict.label(),
+                v.observed,
+                v.baseline_mean,
+                100.0 * v.rel_delta,
+            ));
+        }
+        out.push_str(if self.regressed {
+            "verdict: REGRESSED\n"
+        } else {
+            "verdict: OK\n"
+        });
+        out
+    }
+}
+
+impl Baseline {
+    /// An empty baseline for `deck`.
+    pub fn new(deck: &str) -> Baseline {
+        Baseline {
+            deck: deck.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Compares observations against the stored statistics.
+    pub fn compare(
+        &self,
+        observations: &BTreeMap<String, f64>,
+        cfg: &RegressionConfig,
+    ) -> RegressionReport {
+        let mut verdicts = Vec::with_capacity(observations.len());
+        for (name, &observed) in observations {
+            let v = match self.metrics.get(name) {
+                None => MetricVerdict {
+                    name: name.clone(),
+                    verdict: Verdict::New,
+                    observed,
+                    baseline_mean: 0.0,
+                    rel_delta: 0.0,
+                    z: 0.0,
+                },
+                Some(base) => {
+                    let sigma = base
+                        .var
+                        .max(0.0)
+                        .sqrt()
+                        .max(cfg.rel_floor * base.mean.abs());
+                    let delta = observed - base.mean;
+                    let rel = if base.mean.abs() > 0.0 {
+                        delta / base.mean.abs()
+                    } else if observed == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    let z = if sigma > 0.0 { delta / sigma } else { 0.0 };
+                    let verdict = if rel > cfg.min_rel_delta && z > cfg.z_threshold {
+                        Verdict::Regressed
+                    } else if rel < -cfg.min_rel_delta && z < -cfg.z_threshold {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Ok
+                    };
+                    MetricVerdict {
+                        name: name.clone(),
+                        verdict,
+                        observed,
+                        baseline_mean: base.mean,
+                        rel_delta: rel,
+                        z,
+                    }
+                }
+            };
+            verdicts.push(v);
+        }
+        RegressionReport {
+            deck: self.deck.clone(),
+            regressed: verdicts.iter().any(|v| v.verdict == Verdict::Regressed),
+            verdicts,
+        }
+    }
+
+    /// Folds a run's observations in with EWMA updates; unseen metrics are
+    /// seeded with the observed value and zero variance.
+    pub fn absorb(&mut self, observations: &BTreeMap<String, f64>, cfg: &RegressionConfig) {
+        for (name, &observed) in observations {
+            match self.metrics.get_mut(name) {
+                None => {
+                    self.metrics.insert(
+                        name.clone(),
+                        MetricBaseline {
+                            mean: observed,
+                            var: 0.0,
+                            samples: 1,
+                        },
+                    );
+                }
+                Some(base) => {
+                    // West-style EWMA mean/variance update.
+                    let delta = observed - base.mean;
+                    let incr = cfg.alpha * delta;
+                    base.mean += incr;
+                    base.var = (1.0 - cfg.alpha) * (base.var + delta * incr);
+                    base.samples += 1;
+                }
+            }
+        }
+    }
+
+    /// Serializes to deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"deck\": {},\n", escape(&self.deck)));
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (name, m) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{ \"mean\": {:.9e}, \"var\": {:.9e}, \"samples\": {} }}",
+                escape(name),
+                m.mean,
+                m.var,
+                m.samples
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses the [`Baseline::to_json`] format.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let root = Json::parse(text)?;
+        let deck = root
+            .get("deck")
+            .and_then(Json::as_str)
+            .ok_or("baseline missing \"deck\"")?
+            .to_string();
+        let metrics_obj = match root.get("metrics") {
+            Some(Json::Obj(m)) => m,
+            _ => return Err("baseline missing \"metrics\" object".to_string()),
+        };
+        let mut metrics = BTreeMap::new();
+        for (name, entry) in metrics_obj {
+            let field = |key: &str| -> Result<f64, String> {
+                entry
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("metric {name:?} missing \"{key}\""))
+            };
+            metrics.insert(
+                name.clone(),
+                MetricBaseline {
+                    mean: field("mean")?,
+                    var: field("var")?,
+                    samples: field("samples")? as u64,
+                },
+            );
+        }
+        Ok(Baseline { deck, metrics })
+    }
+
+    /// Loads `<dir>/<deck>.json`; `Ok(None)` when the file doesn't exist.
+    pub fn load(dir: &Path, deck: &str) -> Result<Option<Baseline>, String> {
+        let path = dir.join(format!("{deck}.json"));
+        match fs::read_to_string(&path) {
+            Ok(text) => Baseline::parse(&text)
+                .map(Some)
+                .map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Writes `<dir>/<deck>.json`, creating the directory if needed.
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.json", self.deck));
+        fs::write(&path, self.to_json()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn self_comparison_is_ok_and_inflation_regresses() {
+        let cfg = RegressionConfig::default();
+        let mut base = Baseline::new("lj");
+        base.absorb(&obs(&[("step_seconds.Pair", 1.0)]), &cfg);
+
+        let same = base.compare(&obs(&[("step_seconds.Pair", 1.0)]), &cfg);
+        assert!(!same.regressed);
+        assert_eq!(same.verdicts[0].verdict, Verdict::Ok);
+
+        // +37.5% ≫ the 10% relative gate and 4σ on the 2% floor.
+        let slow = base.compare(&obs(&[("step_seconds.Pair", 1.375)]), &cfg);
+        assert!(slow.regressed);
+        assert_eq!(slow.verdicts[0].verdict, Verdict::Regressed);
+        assert!(slow.render().contains("REGRESSED"));
+
+        let fast = base.compare(&obs(&[("step_seconds.Pair", 0.5)]), &cfg);
+        assert_eq!(fast.verdicts[0].verdict, Verdict::Improved);
+        assert!(!fast.regressed);
+    }
+
+    #[test]
+    fn small_drift_stays_ok_via_the_relative_gate() {
+        let cfg = RegressionConfig::default();
+        let mut base = Baseline::new("lj");
+        base.absorb(&obs(&[("m", 1.0)]), &cfg);
+        // +8% is above 4σ on the 2% floor but below min_rel_delta.
+        let r = base.compare(&obs(&[("m", 1.08)]), &cfg);
+        assert_eq!(r.verdicts[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn unknown_metrics_are_new_not_regressed() {
+        let base = Baseline::new("lj");
+        let r = base.compare(&obs(&[("brand_new", 3.0)]), &RegressionConfig::default());
+        assert_eq!(r.verdicts[0].verdict, Verdict::New);
+        assert!(!r.regressed);
+    }
+
+    #[test]
+    fn absorb_moves_the_mean_by_alpha() {
+        let cfg = RegressionConfig::default();
+        let mut base = Baseline::new("lj");
+        base.absorb(&obs(&[("m", 1.0)]), &cfg);
+        base.absorb(&obs(&[("m", 2.0)]), &cfg);
+        let m = &base.metrics["m"];
+        assert!((m.mean - 1.3).abs() < 1e-12, "mean + 0.3·delta");
+        assert!(m.var > 0.0);
+        assert_eq!(m.samples, 2);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let cfg = RegressionConfig::default();
+        let mut base = Baseline::new("rhodopsin");
+        base.absorb(
+            &obs(&[("step_seconds.Pair", 0.0123), ("step_seconds.total", 0.05)]),
+            &cfg,
+        );
+        base.absorb(
+            &obs(&[("step_seconds.Pair", 0.0130), ("step_seconds.total", 0.052)]),
+            &cfg,
+        );
+        let text = base.to_json();
+        let parsed = Baseline::parse(&text).expect("round-trip parse");
+        assert_eq!(parsed.deck, base.deck);
+        assert_eq!(parsed.metrics.len(), base.metrics.len());
+        for (name, m) in &base.metrics {
+            let p = &parsed.metrics[name];
+            assert!((p.mean - m.mean).abs() < 1e-15 * m.mean.abs().max(1.0));
+            assert!((p.var - m.var).abs() < 1e-15);
+            assert_eq!(p.samples, m.samples);
+        }
+    }
+
+    #[test]
+    fn load_missing_file_is_none_and_save_round_trips() {
+        let dir = std::env::temp_dir().join(format!("md-insight-baseline-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(Baseline::load(&dir, "lj").expect("missing is ok"), None);
+        let mut base = Baseline::new("lj");
+        base.absorb(&obs(&[("m", 1.5)]), &RegressionConfig::default());
+        base.save(&dir).expect("save");
+        let loaded = Baseline::load(&dir, "lj").expect("load").expect("present");
+        assert_eq!(loaded, base);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"deck\": \"lj\"}").is_err());
+        assert!(Baseline::parse("{\"deck\": \"lj\", \"metrics\": {\"m\": {}}}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! The assembled characterization report: attribution + imbalance + MPI +
+//! critical path + regression, distilled into a severity-ranked findings
+//! list with a human-readable rendering.
+
+use md_core::TaskKind;
+use md_observe::Recorder;
+
+use crate::attribution::{Breakdown, ImbalanceReport, MpiTable};
+use crate::critical_path::CriticalPathSummary;
+use crate::regression::{RegressionReport, Verdict};
+
+/// How urgent a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Background fact worth knowing.
+    Info,
+    /// Something looks off; worth a look.
+    Warning,
+    /// Actionable problem (regression, strong imbalance).
+    Critical,
+}
+
+impl Severity {
+    /// Uppercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Critical => "CRITICAL",
+        }
+    }
+}
+
+/// One typed finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Urgency.
+    pub severity: Severity,
+    /// Stable machine-matchable kind (e.g. `"imbalance.suspect_rank"`).
+    pub kind: &'static str,
+    /// Human-readable statement.
+    pub message: String,
+}
+
+/// Everything md-insight derived from one run.
+#[derive(Debug, Clone, Default)]
+pub struct InsightReport {
+    /// Engine-side task breakdown (from step samples), if recorded.
+    pub breakdown: Option<Breakdown>,
+    /// Modeled-cluster task breakdown (rank-0 scaled ledger), if modeled.
+    pub model_breakdown: Option<Breakdown>,
+    /// Cross-rank imbalance, if per-rank stats were collected.
+    pub imbalance: Option<ImbalanceReport>,
+    /// Per-MPI-function overhead, if per-rank stats were collected.
+    pub mpi: Option<MpiTable>,
+    /// Critical-path summary, if step tracking ran.
+    pub critical: Option<CriticalPathSummary>,
+    /// Regression check, if a baseline was available.
+    pub regression: Option<RegressionReport>,
+    /// Severity-ranked findings (most severe first).
+    pub findings: Vec<Finding>,
+}
+
+/// Imbalance `%varavg` above this is a warning finding.
+const VARAVG_WARN_PERCENT: f64 = 25.0;
+
+impl InsightReport {
+    /// Derives the findings list from whatever sections are present and
+    /// sorts it most-severe-first. Call after populating the sections.
+    pub fn finalize(&mut self) {
+        let mut findings = Vec::new();
+        if let Some(b) = &self.breakdown {
+            findings.push(Finding {
+                severity: Severity::Info,
+                kind: "attribution.dominant_task",
+                message: format!(
+                    "engine time is dominated by {} ({:.1}% of {:.4} s over {} steps)",
+                    b.dominant.label(),
+                    b.dominant_percent,
+                    b.total_seconds,
+                    b.steps
+                ),
+            });
+        }
+        if let Some(b) = &self.model_breakdown {
+            findings.push(Finding {
+                severity: Severity::Info,
+                kind: "attribution.model_dominant_task",
+                message: format!(
+                    "modeled cluster time is dominated by {} ({:.1}%)",
+                    b.dominant.label(),
+                    b.dominant_percent
+                ),
+            });
+        }
+        if let Some(imb) = &self.imbalance {
+            match imb.suspect_rank {
+                Some(rank) => findings.push(Finding {
+                    severity: Severity::Critical,
+                    kind: "imbalance.suspect_rank",
+                    message: format!(
+                        "load imbalance attributed to rank {rank}: its compute time \
+                         exceeds the {}-rank mean by {:.1}%",
+                        imb.nranks, imb.suspect_excess_percent
+                    ),
+                }),
+                None => findings.push(Finding {
+                    severity: Severity::Info,
+                    kind: "imbalance.balanced",
+                    message: format!(
+                        "compute load is balanced across {} ranks (max excess {:.1}%)",
+                        imb.nranks, imb.suspect_excess_percent
+                    ),
+                }),
+            }
+            if let Some(task) = imb.worst_task {
+                if imb.worst_varavg_percent > VARAVG_WARN_PERCENT {
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        kind: "imbalance.varavg",
+                        message: format!(
+                            "{} %varavg is {:.1}% (LAMMPS convention: 100·(max−avg)/avg)",
+                            task.label(),
+                            imb.worst_varavg_percent
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(mpi) = &self.mpi {
+            if mpi.total_mean_seconds > 0.0 {
+                let skew_pct = 100.0 * mpi.skew_mean_seconds / mpi.total_mean_seconds;
+                findings.push(Finding {
+                    severity: if skew_pct > 50.0 {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    },
+                    kind: "mpi.skew_share",
+                    message: format!(
+                        "{skew_pct:.1}% of MPI time is skew-induced waiting \
+                         ({:.4} s of {:.4} s per rank)",
+                        mpi.skew_mean_seconds, mpi.total_mean_seconds
+                    ),
+                });
+            }
+        }
+        if let Some(cp) = &self.critical {
+            if let (Some((rank, secs)), Some((task, _))) = (cp.top_rank, cp.top_task) {
+                let share = if cp.total_seconds > 0.0 {
+                    100.0 * secs / cp.total_seconds
+                } else {
+                    0.0
+                };
+                findings.push(Finding {
+                    severity: if share > 50.0 {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    },
+                    kind: "critical_path.top",
+                    message: format!(
+                        "critical path runs through rank {rank} for {share:.1}% of \
+                         {} steps, mostly in {}",
+                        cp.steps,
+                        task.label()
+                    ),
+                });
+            }
+        }
+        if let Some(reg) = &self.regression {
+            let regressed: Vec<&str> = reg
+                .verdicts
+                .iter()
+                .filter(|v| v.verdict == Verdict::Regressed)
+                .map(|v| v.name.as_str())
+                .collect();
+            if regressed.is_empty() {
+                findings.push(Finding {
+                    severity: Severity::Info,
+                    kind: "regression.ok",
+                    message: format!(
+                        "no perf regression vs the {} baseline ({} metrics checked)",
+                        reg.deck,
+                        reg.verdicts.len()
+                    ),
+                });
+            } else {
+                findings.push(Finding {
+                    severity: Severity::Critical,
+                    kind: "regression.detected",
+                    message: format!(
+                        "perf REGRESSED vs the {} baseline: {}",
+                        reg.deck,
+                        regressed.join(", ")
+                    ),
+                });
+            }
+        }
+        findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        self.findings = findings;
+    }
+
+    /// True when any finding is [`Severity::Critical`].
+    pub fn has_critical(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity == Severity::Critical)
+    }
+
+    /// Publishes headline gauges on a recorder so the findings show up in
+    /// metric exports: `insight_findings`, `imbalance_suspect_rank` (−1
+    /// when balanced), `imbalance_worst_varavg_pct`.
+    pub fn publish_counters(&self, recorder: &Recorder) {
+        recorder.gauge(0, "insight_findings", self.findings.len() as f64);
+        if let Some(imb) = &self.imbalance {
+            recorder.gauge(
+                0,
+                "imbalance_suspect_rank",
+                imb.suspect_rank.map_or(-1.0, |r| r as f64),
+            );
+            recorder.gauge(0, "imbalance_worst_varavg_pct", imb.worst_varavg_percent);
+        }
+    }
+
+    /// Renders the full characterization report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== md-insight characterization report ==\n");
+        out.push_str("\n-- findings --\n");
+        if self.findings.is_empty() {
+            out.push_str("(none)\n");
+        }
+        for f in &self.findings {
+            out.push_str(&format!("[{:<8}] {}\n", f.severity.label(), f.message));
+        }
+        for (title, breakdown) in [
+            ("engine task breakdown", &self.breakdown),
+            ("modeled cluster task breakdown", &self.model_breakdown),
+        ] {
+            if let Some(b) = breakdown {
+                out.push_str(&format!("\n-- {title} --\n"));
+                for s in &b.shares {
+                    out.push_str(&format!(
+                        "{:<8} {:>12.6} s {:>6.1}%\n",
+                        s.task.label(),
+                        s.seconds,
+                        s.percent
+                    ));
+                }
+            }
+        }
+        if let Some(imb) = &self.imbalance {
+            out.push_str("\n-- per-task load imbalance across ranks --\n");
+            out.push_str("task         avg          max          min    %varavg\n");
+            for t in &imb.per_task {
+                out.push_str(&format!(
+                    "{:<8} {:>10.6} {:>12.6} {:>12.6} {:>8.1}\n",
+                    t.task.label(),
+                    t.avg,
+                    t.max,
+                    t.min,
+                    t.varavg_percent
+                ));
+            }
+            out.push_str("rank compute seconds:");
+            for (rank, s) in imb.rank_compute_seconds.iter().enumerate() {
+                out.push_str(&format!(" r{rank}={s:.4}"));
+            }
+            out.push('\n');
+        }
+        if let Some(mpi) = &self.mpi {
+            out.push_str("\n-- per-MPI-function overhead --\n");
+            out.push_str("function        mean          max     % of MPI\n");
+            for r in &mpi.rows {
+                out.push_str(&format!(
+                    "{:<12} {:>9.6} {:>12.6} {:>9.1}\n",
+                    r.function.label(),
+                    r.mean_seconds,
+                    r.max_seconds,
+                    r.percent_of_mpi
+                ));
+            }
+            out.push_str(&format!(
+                "mean MPI total {:.6} s, skew-wait {:.6} s\n",
+                mpi.total_mean_seconds, mpi.skew_mean_seconds
+            ));
+        }
+        if let Some(cp) = &self.critical {
+            out.push_str("\n-- critical path --\n");
+            out.push_str(&cp.render());
+        }
+        if let Some(reg) = &self.regression {
+            out.push_str("\n-- perf regression --\n");
+            out.push_str(&reg.render());
+        }
+        out
+    }
+}
+
+/// Which task dominated: convenience for tests and the harness.
+pub fn dominant_task(breakdown: &Breakdown) -> TaskKind {
+    breakdown.dominant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::ImbalanceReport;
+    use md_core::TaskLedger;
+    use md_observe::ObserveConfig;
+
+    fn skewed_ledgers() -> Vec<TaskLedger> {
+        (0..4)
+            .map(|rank| {
+                let mut l = TaskLedger::new();
+                l.add(TaskKind::Pair, if rank == 3 { 5.0 } else { 1.0 });
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn findings_rank_critical_first_and_name_the_rank() {
+        let mut report = InsightReport {
+            imbalance: Some(ImbalanceReport::from_rank_ledgers(&skewed_ledgers())),
+            ..InsightReport::default()
+        };
+        report.finalize();
+        assert!(report.has_critical());
+        assert_eq!(report.findings[0].severity, Severity::Critical);
+        assert_eq!(report.findings[0].kind, "imbalance.suspect_rank");
+        assert!(report.findings[0].message.contains("rank 3"));
+        let rendered = report.render();
+        assert!(rendered.contains("CRITICAL"));
+        assert!(rendered.contains("%varavg"));
+    }
+
+    #[test]
+    fn balanced_run_without_baseline_has_no_critical_findings() {
+        let ledgers = vec![
+            {
+                let mut l = TaskLedger::new();
+                l.add(TaskKind::Pair, 2.0);
+                l
+            };
+            4
+        ];
+        let mut report = InsightReport {
+            imbalance: Some(ImbalanceReport::from_rank_ledgers(&ledgers)),
+            ..InsightReport::default()
+        };
+        report.finalize();
+        assert!(!report.has_critical());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "imbalance.balanced"));
+    }
+
+    #[test]
+    fn counters_follow_the_naming_convention_and_publish() {
+        let mut report = InsightReport {
+            imbalance: Some(ImbalanceReport::from_rank_ledgers(&skewed_ledgers())),
+            ..InsightReport::default()
+        };
+        report.finalize();
+        let rec = Recorder::new(ObserveConfig::default());
+        report.publish_counters(&rec);
+        let snap = rec.snapshot();
+        for name in snap.counters.keys() {
+            assert!(
+                md_observe::counter_name_allowed(name),
+                "{name} violates the counter-naming convention"
+            );
+        }
+        assert_eq!(snap.counters["imbalance_suspect_rank"], 3.0);
+        assert!(snap.counters["insight_findings"] >= 2.0);
+    }
+}

@@ -30,6 +30,11 @@ pub struct CpuRunOptions {
     /// Steps actually simulated on virtual clocks; ledgers are scaled up to
     /// `steps` (they are periodic after warm-up).
     pub sim_steps: u64,
+    /// Whether to keep per-rank ledgers and per-step critical-path records
+    /// in the result (md-insight's inputs; off by default because the
+    /// figure sweeps run thousands of models and only need the means).
+    #[serde(default)]
+    pub collect_rank_stats: bool,
 }
 
 impl Default for CpuRunOptions {
@@ -40,6 +45,7 @@ impl Default for CpuRunOptions {
             precision: PrecisionMode::Mixed,
             thermo_every: 100,
             sim_steps: 120,
+            collect_rank_stats: false,
         }
     }
 }
@@ -71,6 +77,23 @@ pub struct CpuRunResult {
     pub watts: f64,
     /// Energy efficiency (TS/s/W, Figure 6 middle).
     pub ts_per_sec_per_watt: f64,
+    /// Per-rank task ledgers over the *simulated* window (`sim_steps`
+    /// steps, unscaled — md-insight compares shares across ranks, not
+    /// absolutes). Empty unless [`CpuRunOptions::collect_rank_stats`].
+    #[serde(default)]
+    pub rank_tasks: Vec<TaskLedger>,
+    /// Per-rank MPI ledgers over the simulated window (unscaled). Empty
+    /// unless [`CpuRunOptions::collect_rank_stats`].
+    #[serde(default)]
+    pub rank_mpi: Vec<MpiLedger>,
+    /// Per-rank virtual clocks at the end of the simulated window. Empty
+    /// unless [`CpuRunOptions::collect_rank_stats`].
+    #[serde(default)]
+    pub rank_clocks: Vec<f64>,
+    /// Per-step critical-path records over the simulated window. Empty
+    /// unless [`CpuRunOptions::collect_rank_stats`].
+    #[serde(default)]
+    pub critical_path: Vec<md_parallel::CriticalStep>,
 }
 
 impl CpuRunResult {
@@ -178,6 +201,14 @@ impl CpuModel {
         }
         if let Some(faults) = &self.faults {
             cluster.set_faults(faults.clone());
+        }
+        if opts.collect_rank_stats {
+            cluster.enable_step_tracking();
+            if let Some(rec) = &self.recorder {
+                // Re-announce lanes so the critical_path lane gets named
+                // even when the recorder was attached first.
+                cluster.set_recorder(rec.clone());
+            }
         }
         cluster.mpi_init(
             calib::MPI_INIT_BASE_SECONDS,
@@ -302,6 +333,8 @@ impl CpuModel {
             }
         }
 
+        cluster.finish_step_tracking();
+
         // Scale the periodic per-step ledgers from sim_steps to steps.
         let scale = opts.steps as f64 / opts.sim_steps as f64;
         let step_seconds = (cluster.max_clock() - init_clock) / opts.sim_steps as f64;
@@ -335,6 +368,16 @@ impl CpuModel {
         };
         let watts = crate::power::cpu_node_watts(bench, p);
         let mpi_total = mpi.total();
+        let (rank_tasks, rank_mpi, rank_clocks, critical_path) = if opts.collect_rank_stats {
+            (
+                cluster.rank_task_ledgers(),
+                cluster.rank_mpi_ledgers(),
+                cluster.rank_clocks(),
+                cluster.critical_path().to_vec(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+        };
         Ok(CpuRunResult {
             benchmark: bench,
             size_k: profile.natoms / 1000,
@@ -348,6 +391,10 @@ impl CpuModel {
             mpi_imbalance_percent: 100.0 * mean.skew_seconds() * scale / total_seconds,
             watts,
             ts_per_sec_per_watt: ts_per_sec / watts,
+            rank_tasks,
+            rank_mpi,
+            rank_clocks,
+            critical_path,
         })
     }
 }
@@ -425,6 +472,37 @@ mod tests {
             chute.mpi_imbalance_percent,
             lj.mpi_imbalance_percent
         );
+    }
+
+    #[test]
+    fn rank_stats_are_opt_in_and_cover_the_window() {
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).unwrap();
+        let model = CpuModel::new();
+        let base = CpuRunOptions {
+            ranks: 8,
+            sim_steps: 30,
+            ..CpuRunOptions::default()
+        };
+        let lean = model.simulate(&profile, &bx, &x, &base).unwrap();
+        assert!(lean.rank_tasks.is_empty() && lean.critical_path.is_empty());
+
+        let opts = CpuRunOptions {
+            collect_rank_stats: true,
+            ..base
+        };
+        let full = model.simulate(&profile, &bx, &x, &opts).unwrap();
+        assert_eq!(full.rank_tasks.len(), 8);
+        assert_eq!(full.rank_mpi.len(), 8);
+        assert_eq!(full.rank_clocks.len(), 8);
+        assert_eq!(full.critical_path.len(), 30, "one record per sim step");
+        for cs in &full.critical_path {
+            assert!(cs.rank < 8);
+            assert!(cs.seconds >= 0.0);
+        }
+        // Collecting stats must not change the modeled numbers.
+        assert_eq!(full.ts_per_sec, lean.ts_per_sec);
+        assert_eq!(full.tasks, lean.tasks);
     }
 
     #[test]

@@ -210,6 +210,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_and_merge_stay_empty() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "quantile({q}) of empty");
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.mean), (0, 0.0, 0.0, 0.0));
+        assert_eq!((s.p50, s.p95, s.p99), (0.0, 0.0, 0.0));
+        // Merging two empties is still empty.
+        let mut m = LogHistogram::new();
+        m.merge(&h);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.summary(), LogHistogram::new().summary());
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample() {
+        let mut h = LogHistogram::new();
+        h.observe(37.5);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        // The clamp to [min, max] collapses every quantile of a one-sample
+        // histogram onto the sample itself, exactly.
+        assert_eq!(s.p50, 37.5);
+        assert_eq!(s.p95, 37.5);
+        assert_eq!(s.p99, 37.5);
+        assert_eq!(s.min, 37.5);
+        assert_eq!(s.max, 37.5);
+        assert_eq!(s.mean, 37.5);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_moments() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..37 {
+            a.observe(1.0 + i as f64);
+        }
+        for i in 0..11 {
+            b.observe(500.0 + i as f64);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let sum_ab = a.summary().mean * ca as f64 + b.summary().mean * cb as f64;
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), ca + cb, "total count preserved");
+        assert_eq!(m.summary().count, 48);
+        assert!(
+            (m.summary().mean * 48.0 - sum_ab).abs() < 1e-9,
+            "sum preserved"
+        );
+        assert_eq!(m.summary().min, 1.0);
+        assert_eq!(m.summary().max, 510.0);
+        // Merging into an empty histogram is a plain copy of the counts.
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), ca);
+        assert_eq!(empty.summary().min, a.summary().min);
+    }
+
+    #[test]
     fn ignores_junk_samples() {
         let mut h = LogHistogram::new();
         h.observe(f64::NAN);

@@ -28,15 +28,38 @@
 //! md-observe is a leaf crate: the engine crates depend on it, never the
 //! reverse. The [`TASK_LABELS`] order mirrors `md_core::TaskKind::ALL` and
 //! is cross-checked by a test on the md-core side.
+//!
+//! ## Counter-naming convention
+//!
+//! Counters and gauges share one flat namespace across every crate that
+//! holds a [`Recorder`] clone, so names must carry a subsystem prefix:
+//!
+//! - `health_*` — md-resilience watchdog events
+//!   (`health_nonfinite_force`, `health_energy_drift`, ...)
+//! - `fault_*` — injected-fault occurrences
+//!   (`fault_rank_stall`, `fault_rank_slow`, `fault_halo_drop`, ...)
+//! - `recovery_*` — recovery-ladder actions
+//!   (`recovery_rollback`, `recovery_mitigation`)
+//! - `insight_*` — md-insight analysis outputs (`insight_findings`)
+//! - `imbalance_*` — md-insight load-imbalance attribution
+//!   (`imbalance_suspect_rank`, `imbalance_worst_varavg_pct`)
+//!
+//! Three engine-core counters predate the convention and are grandfathered
+//! as exact names: `neighbor_rebuilds`, `pair_interactions`,
+//! `energy_drift`. [`names::counter_name_allowed`] is the machine-checkable
+//! form; `tests/insight_analysis.rs` asserts it over the counters of a real
+//! instrumented run.
 
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod names;
 pub mod recorder;
 pub mod series;
 
 pub use export::{chrome_trace_json, metrics_jsonl, text_report};
 pub use hist::{HistSummary, LogHistogram};
 pub use json::Json;
-pub use recorder::{ObserveConfig, Phase, Recorder, SpanGuard, TraceEvent};
+pub use names::{counter_name_allowed, ALLOWED_COUNTER_PREFIXES, ENGINE_COUNTER_NAMES};
+pub use recorder::{ObserveConfig, ObserveSnapshot, Phase, Recorder, SpanGuard, TraceEvent};
 pub use series::{StepSample, StepSeries, NUM_TASKS, TASK_LABELS};

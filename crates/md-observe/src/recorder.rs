@@ -52,6 +52,29 @@ pub struct TraceEvent {
     pub value: f64,
 }
 
+/// An owned, point-in-time copy of everything a [`Recorder`] has retained —
+/// the hand-off surface between the recording layer and analysis code
+/// (md-insight) that must not hold the recorder's lock while it works.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveSnapshot {
+    /// Retained trace events, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Retained per-step samples, oldest → newest.
+    pub steps: Vec<StepSample>,
+    /// Step samples evicted from the ring to stay within capacity.
+    pub evicted_steps: u64,
+    /// Step samples ever recorded (retained + evicted).
+    pub total_steps: u64,
+    /// Trace events dropped at the event cap.
+    pub dropped_events: u64,
+    /// Counter and gauge values by name.
+    pub counters: BTreeMap<&'static str, f64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<&'static str, HistSummary>,
+    /// Lane names (`tid` → label).
+    pub lanes: BTreeMap<u32, String>,
+}
+
 /// Configuration for a [`Recorder`].
 #[derive(Debug, Clone)]
 pub struct ObserveConfig {
@@ -401,6 +424,23 @@ impl Recorder {
         st.steps.len()
     }
 
+    /// An owned copy of everything retained so far, for analysis layers
+    /// that must not hold the recorder's lock while they work (the lock is
+    /// taken once, for the duration of the copy).
+    pub fn snapshot(&self) -> ObserveSnapshot {
+        let st = self.inner.state.lock().expect("recorder state");
+        ObserveSnapshot {
+            events: st.events.clone(),
+            steps: st.steps.iter().copied().collect(),
+            evicted_steps: st.steps.evicted(),
+            total_steps: st.steps.total_pushed(),
+            dropped_events: st.dropped_events,
+            counters: st.counters.clone(),
+            hists: st.hists.iter().map(|(&k, h)| (k, h.summary())).collect(),
+            lanes: st.lanes.clone(),
+        }
+    }
+
     /// Runs `f` with a read view of the internal state (used by exporters).
     pub(crate) fn with_state<T>(&self, f: impl FnOnce(&RecorderState) -> T) -> T {
         let st = self.inner.state.lock().expect("recorder state");
@@ -493,6 +533,31 @@ mod tests {
             assert_eq!(st.events[0].dur_us, 250.0);
             assert_eq!(st.events[0].lane, 7);
         });
+    }
+
+    #[test]
+    fn snapshot_copies_all_retained_state() {
+        let r = Recorder::default();
+        r.set_lane_name(0, "engine");
+        r.record_span_at(0, "task", "Pair", 0.0, 10.0);
+        r.count(0, "neighbor_rebuilds", 2.0);
+        r.observe("step_latency_us", 12.0);
+        r.push_step(StepSample {
+            step: 7,
+            ..StepSample::default()
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2, "span + counter event");
+        assert_eq!(snap.steps.len(), 1);
+        assert_eq!(snap.steps[0].step, 7);
+        assert_eq!(snap.total_steps, 1);
+        assert_eq!(snap.evicted_steps, 0);
+        assert_eq!(snap.counters.get("neighbor_rebuilds"), Some(&2.0));
+        assert_eq!(snap.hists["step_latency_us"].count, 1);
+        assert_eq!(snap.lanes.get(&0).map(String::as_str), Some("engine"));
+        // The snapshot is a copy: further recording does not mutate it.
+        r.count(0, "neighbor_rebuilds", 1.0);
+        assert_eq!(snap.counters.get("neighbor_rebuilds"), Some(&2.0));
     }
 
     #[test]

@@ -74,6 +74,37 @@ pub trait ClusterFaults: Send + Sync {
     }
 }
 
+/// One timestep's critical-path attribution: the rank whose work bounded
+/// the step (ties go to the lowest rank) and the task that rank spent the
+/// most time in while doing so. A sequence of these is the chain of
+/// (rank, task) pairs that bulk-synchronous execution actually waited on —
+/// the per-step refinement of [`TaskLedger::max_across`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CriticalStep {
+    /// Timestep index.
+    pub step: u64,
+    /// Rank whose clock bounded the step.
+    pub rank: usize,
+    /// Simulated seconds the cluster-wide frontier advanced this step.
+    pub seconds: f64,
+    /// The bounding rank's dominant task during the step.
+    pub task: TaskKind,
+    /// Seconds the bounding rank spent in that dominant task.
+    pub task_seconds: f64,
+}
+
+/// Per-step snapshot taken at `begin_step` so the closing bookkeeping can
+/// compute deltas.
+#[derive(Debug, Clone)]
+struct OpenStep {
+    step: u64,
+    start_max_clock: f64,
+    tasks: Vec<TaskLedger>,
+    /// Per-rank skew-wait seconds at step open, so closing can separate
+    /// work from time spent waiting on slower ranks.
+    skews: Vec<f64>,
+}
+
 /// A set of virtual ranks evolving bulk-synchronously.
 #[derive(Clone)]
 pub struct VirtualCluster {
@@ -82,6 +113,12 @@ pub struct VirtualCluster {
     faults: Option<Arc<dyn ClusterFaults>>,
     /// Step index faults are queried at (set by [`VirtualCluster::begin_step`]).
     current_step: u64,
+    /// Whether per-step critical-path records are kept.
+    track_steps: bool,
+    /// The step currently being accumulated (tracking only).
+    open_step: Option<OpenStep>,
+    /// Closed per-step critical-path records (tracking only).
+    critical: Vec<CriticalStep>,
 }
 
 impl std::fmt::Debug for VirtualCluster {
@@ -107,6 +144,9 @@ impl VirtualCluster {
             recorder: Recorder::disabled(),
             faults: None,
             current_step: 0,
+            track_steps: false,
+            open_step: None,
+            critical: Vec::new(),
         }
     }
 
@@ -129,6 +169,15 @@ impl VirtualCluster {
     /// triggered by a fault instead of a decomposition artifact.
     pub fn begin_step(&mut self, step: u64) {
         self.current_step = step;
+        if self.track_steps {
+            self.close_open_step();
+            self.open_step = Some(OpenStep {
+                step,
+                start_max_clock: self.max_clock(),
+                tasks: self.ranks.iter().map(|r| r.tasks.clone()).collect(),
+                skews: self.ranks.iter().map(|r| r.mpi.skew_seconds()).collect(),
+            });
+        }
         let Some(faults) = self.faults.clone() else {
             return;
         };
@@ -158,12 +207,106 @@ impl VirtualCluster {
         for r in 0..self.nranks() {
             recorder.set_lane_name(Self::lane(r), format!("rank {r}"));
         }
+        if self.track_steps {
+            recorder.set_lane_name(self.critical_lane(), "critical_path");
+        }
         self.recorder = recorder;
     }
 
     /// Trace lane of rank `r`.
     fn lane(r: usize) -> u32 {
         RANK_LANE_BASE + r as u32
+    }
+
+    /// Trace lane of the critical-path timeline (one past the rank lanes).
+    pub fn critical_lane(&self) -> u32 {
+        RANK_LANE_BASE + self.nranks() as u32
+    }
+
+    /// Turns on per-step critical-path tracking: every
+    /// [`VirtualCluster::begin_step`] closes the previous step into a
+    /// [`CriticalStep`] record (call [`VirtualCluster::finish_step_tracking`]
+    /// after the last step), and each record is also emitted as a span on a
+    /// dedicated `critical_path` trace lane at simulated timestamps.
+    pub fn enable_step_tracking(&mut self) {
+        self.track_steps = true;
+        self.recorder
+            .set_lane_name(self.critical_lane(), "critical_path");
+    }
+
+    /// Closes the step currently being tracked (the per-step loop only
+    /// opens steps; the last one has no successor to close it).
+    pub fn finish_step_tracking(&mut self) {
+        self.close_open_step();
+    }
+
+    /// The per-step critical-path records collected so far.
+    pub fn critical_path(&self) -> &[CriticalStep] {
+        &self.critical
+    }
+
+    /// Folds the open step (if any) into a [`CriticalStep`]: the rank that
+    /// did the most *work* this step — ledger time minus skew-wait, i.e. the
+    /// rank everyone else waited on — bounded it; its largest per-task time
+    /// delta since the step opened names the bounding task. (Raw clocks
+    /// can't be compared here: synchronization points equalize them, so the
+    /// slowest rank's clock is no higher than its waiters'.)
+    fn close_open_step(&mut self) {
+        let Some(open) = self.open_step.take() else {
+            return;
+        };
+        let work = |r: usize| {
+            let busy = self.ranks[r].tasks.delta_since(&open.tasks[r]).total();
+            let waited = self.ranks[r].mpi.skew_seconds() - open.skews[r];
+            (busy - waited).max(0.0)
+        };
+        let bound = (0..self.nranks())
+            .max_by(|&a, &b| {
+                work(a)
+                    .partial_cmp(&work(b))
+                    .expect("finite seconds")
+                    // Ties go to the lowest rank.
+                    .then(b.cmp(&a))
+            })
+            .expect("at least one rank");
+        let delta = self.ranks[bound].tasks.delta_since(&open.tasks[bound]);
+        let (task, task_seconds) = TaskKind::ALL
+            .iter()
+            .map(|&t| (t, delta.seconds(t)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite seconds"))
+            .expect("eight tasks");
+        let seconds = (self.max_clock() - open.start_max_clock).max(0.0);
+        if seconds > 0.0 {
+            self.recorder.record_span_at(
+                self.critical_lane(),
+                "critical",
+                task.label(),
+                open.start_max_clock * US,
+                seconds * US,
+            );
+        }
+        self.critical.push(CriticalStep {
+            step: open.step,
+            rank: bound,
+            seconds,
+            task,
+            task_seconds,
+        });
+    }
+
+    /// Per-rank task ledgers, rank order (owned snapshot).
+    pub fn rank_task_ledgers(&self) -> Vec<TaskLedger> {
+        self.ranks.iter().map(|r| r.tasks.clone()).collect()
+    }
+
+    /// Per-rank MPI ledgers, rank order (owned snapshot).
+    pub fn rank_mpi_ledgers(&self) -> Vec<MpiLedger> {
+        self.ranks.iter().map(|r| r.mpi.clone()).collect()
+    }
+
+    /// Per-rank virtual clocks, rank order.
+    pub fn rank_clocks(&self) -> Vec<f64> {
+        self.ranks.iter().map(|r| r.clock).collect()
     }
 
     /// Rank count.
@@ -565,6 +708,112 @@ mod tests {
         fn duplicate_halo(&self, rank: usize, step: u64) -> bool {
             rank == 1 && step == 9
         }
+    }
+
+    #[test]
+    fn step_tracking_names_the_bounding_rank_and_task() {
+        let rec = Recorder::default();
+        let mut c = VirtualCluster::new(3);
+        c.enable_step_tracking();
+        c.set_recorder(rec.clone());
+        // Step 0: rank 2 does the most Pair work and bounds the step.
+        c.begin_step(0);
+        for r in 0..3 {
+            c.compute(r, TaskKind::Pair, 1.0 + r as f64);
+        }
+        // Step 1: rank 0 dominates with Kspace.
+        c.begin_step(1);
+        c.compute(0, TaskKind::Kspace, 5.0);
+        c.compute(1, TaskKind::Pair, 0.5);
+        c.finish_step_tracking();
+
+        let path = c.critical_path();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].step, 0);
+        assert_eq!(path[0].rank, 2);
+        assert_eq!(path[0].task, TaskKind::Pair);
+        assert!((path[0].seconds - 3.0).abs() < 1e-12, "frontier advance");
+        assert!((path[0].task_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(path[1].rank, 0);
+        assert_eq!(path[1].task, TaskKind::Kspace);
+        // Frontier moved from 3.0 (rank 2) to 6.0 (rank 0's clock 1+5).
+        assert!((path[1].seconds - 3.0).abs() < 1e-12);
+
+        // The critical lane carries one span per step at simulated time.
+        let lane = c.critical_lane();
+        let spans: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| e.lane == lane)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "Pair");
+        assert_eq!(spans[1].name, "Kspace");
+        assert_eq!(spans[0].cat, "critical");
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.lanes.get(&lane).map(String::as_str),
+            Some("critical_path")
+        );
+    }
+
+    #[test]
+    fn step_tracking_sees_through_synchronization() {
+        // An allreduce equalizes every clock, so clock comparison would
+        // hand the step to rank 0; the slow rank must still be named.
+        let mut c = VirtualCluster::new(4);
+        c.enable_step_tracking();
+        for step in 0..3 {
+            c.begin_step(step);
+            for r in 0..4 {
+                let cost = if r == 2 { 4.0 } else { 1.0 };
+                c.compute(r, TaskKind::Pair, cost);
+            }
+            c.allreduce(64.0, LINK, TaskKind::Output);
+            assert!((c.max_clock() - c.min_clock()).abs() < 1e-12);
+        }
+        c.finish_step_tracking();
+        let path = c.critical_path();
+        assert_eq!(path.len(), 3);
+        for s in path {
+            assert_eq!(s.rank, 2, "slow rank bounds every synchronized step");
+            assert_eq!(s.task, TaskKind::Pair);
+        }
+    }
+
+    #[test]
+    fn step_tracking_ties_go_to_the_lowest_rank() {
+        let mut c = VirtualCluster::new(4);
+        c.enable_step_tracking();
+        c.begin_step(0);
+        for r in 0..4 {
+            c.compute(r, TaskKind::Neigh, 2.0);
+        }
+        c.finish_step_tracking();
+        assert_eq!(c.critical_path()[0].rank, 0);
+        assert_eq!(c.critical_path()[0].task, TaskKind::Neigh);
+    }
+
+    #[test]
+    fn untracked_cluster_keeps_no_per_step_records() {
+        let mut c = VirtualCluster::new(2);
+        c.begin_step(0);
+        c.compute(0, TaskKind::Pair, 1.0);
+        c.finish_step_tracking();
+        assert!(c.critical_path().is_empty());
+    }
+
+    #[test]
+    fn rank_snapshots_match_ledger_accessors() {
+        let mut c = VirtualCluster::new(2);
+        c.compute(0, TaskKind::Pair, 2.0);
+        c.compute(1, TaskKind::Bond, 1.0);
+        let tasks = c.rank_task_ledgers();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].seconds(TaskKind::Pair), 2.0);
+        assert_eq!(tasks[1].seconds(TaskKind::Bond), 1.0);
+        assert_eq!(c.rank_clocks(), vec![2.0, 1.0]);
+        assert_eq!(c.rank_mpi_ledgers().len(), 2);
     }
 
     #[test]

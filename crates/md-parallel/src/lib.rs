@@ -28,7 +28,7 @@ pub mod ghost;
 pub mod mpi;
 
 pub use census::{RankLoad, WorkloadCensus};
-pub use cluster::{ClusterFaults, LinkModel, VirtualCluster};
+pub use cluster::{ClusterFaults, CriticalStep, LinkModel, VirtualCluster};
 pub use decomposition::{Decomposition, ProcGrid};
 pub use ghost::GhostExchange;
 pub use mpi::{MpiFunction, MpiLedger};
