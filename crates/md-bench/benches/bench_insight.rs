@@ -52,8 +52,13 @@ fn guard_disabled_overhead(c: &mut Criterion) {
     let overhead = hook.as_secs_f64() * HOOKS_PER_STEP as f64;
     let fraction = overhead / step.as_secs_f64().max(1e-12);
 
-    // Analyzer cost, amortized per modeled step (off the hot path).
-    let recorder = Recorder::new(ObserveConfig::default());
+    // Analyzer cost, amortized per modeled step (off the hot path). The
+    // recorder honours MD_OBSERVE_STEPS so the guard can be probed with
+    // retained-sample mode off.
+    let mut observe_cfg = ObserveConfig::from_env();
+    observe_cfg.enabled = true;
+    let retained_samples = observe_cfg.step_capacity > 0;
+    let recorder = Recorder::new(observe_cfg);
     let profile = WorkloadProfile::measure(md_workloads::Benchmark::Lj, 10, 1).expect("profile");
     let (bx, x) =
         md_workloads::build_positions(md_workloads::Benchmark::Lj, 1, 1).expect("positions");
@@ -86,13 +91,28 @@ fn guard_disabled_overhead(c: &mut Criterion) {
         analyze_per_step * 1e6,
     );
 
+    // A reader of the JSON must be able to tell a passing guard from one
+    // that never ran (same schema as `bench_threads`): record *why* the
+    // assertion was skipped, not just a bare `"asserted": false`. With
+    // retained-sample mode off (`MD_OBSERVE_STEPS=0`) the analyzer sees no
+    // step samples, so the guarded path is not the production one and the
+    // overhead assertion would vouch for a configuration nobody ships.
+    let asserted = retained_samples;
+    let skip_reason = if asserted {
+        String::new()
+    } else {
+        "retained-sample mode is off (MD_OBSERVE_STEPS=0); the analyzer ran without \
+         step samples, so the overhead budget is not representative"
+            .to_string()
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"lj\",\n  \
          \"disabled_hook_s\": {:.6e},\n  \"hooks_per_step\": {HOOKS_PER_STEP},\n  \
          \"step_s\": {:.6e},\n  \"overhead_fraction\": {fraction:.6},\n  \
          \"max_overhead_fraction\": {MAX_OVERHEAD_FRACTION},\n  \
          \"analyze_total_s\": {:.6e},\n  \"analyze_per_model_step_s\": {:.6e},\n  \
-         \"model_sim_steps\": {ANALYZE_SIM_STEPS},\n  \"asserted\": true\n}}\n",
+         \"model_sim_steps\": {ANALYZE_SIM_STEPS},\n  \
+         \"asserted\": {asserted},\n  \"skip_reason\": \"{skip_reason}\"\n}}\n",
         hook.as_secs_f64(),
         step.as_secs_f64(),
         analyze.as_secs_f64(),
@@ -104,12 +124,19 @@ fn guard_disabled_overhead(c: &mut Criterion) {
         Err(e) => println!("bench_insight: cannot write {out}: {e}"),
     }
 
-    assert!(
-        fraction <= MAX_OVERHEAD_FRACTION,
-        "analysis-disabled per-step overhead {:.3}% exceeds the {:.0}% budget",
-        fraction * 100.0,
-        MAX_OVERHEAD_FRACTION * 100.0
-    );
+    if asserted {
+        assert!(
+            fraction <= MAX_OVERHEAD_FRACTION,
+            "analysis-disabled per-step overhead {:.3}% exceeds the {:.0}% budget",
+            fraction * 100.0,
+            MAX_OVERHEAD_FRACTION * 100.0
+        );
+    } else {
+        eprintln!(
+            "bench_insight: WARNING: overhead assertion SKIPPED — {skip_reason}; \
+             the numbers above are informational only"
+        );
+    }
 
     // Keep the Criterion report non-empty so the guard visibly ran.
     let mut group = c.benchmark_group("insight_guard");

@@ -26,12 +26,17 @@
 //! `--analyze` collects per-rank stats and critical-path records from the
 //! modeled cluster run and prints the md-insight characterization report
 //! (bottleneck attribution, `%varavg` load imbalance, per-MPI-function
-//! overhead, critical path).
+//! overhead, critical path). It also runs the traced GPU-instance model so
+//! the report carries the per-device kernel/memcpy/idle breakdown and the
+//! host↔device critical path, and traced runs gain one lane per modeled
+//! device.
 
 use md_core::{TaskKind, Threads};
 use md_harness::insight;
 use md_harness::render::{fnum, TextTable};
-use md_model::{CpuModel, CpuRunOptions, CpuRunResult, WorkloadProfile};
+use md_model::{
+    CpuModel, CpuRunOptions, CpuRunResult, GpuModel, GpuRunOptions, GpuTracedRun, WorkloadProfile,
+};
 use md_observe::{chrome_trace_json, metrics_jsonl, text_report, ObserveConfig, Recorder};
 use md_workloads::{build_deck_with, build_positions, Benchmark};
 
@@ -141,7 +146,12 @@ fn main() {
         match trace_cluster(&recorder, analyze) {
             Ok(result) => {
                 if analyze {
-                    let report = insight::analyze(&result, &recorder);
+                    let mut report = insight::analyze(&result, &recorder);
+                    eprintln!("[profile] tracing GPU-instance model (modeled lj, 1 device) ...");
+                    match trace_gpu(&recorder) {
+                        Ok(traced) => insight::attach_gpu(&mut report, &traced.timeline),
+                        Err(e) => eprintln!("[profile] GPU trace failed: {e}"),
+                    }
                     println!("\n{}", report.render());
                 }
             }
@@ -192,4 +202,15 @@ fn trace_cluster(recorder: &Recorder, collect_rank_stats: bool) -> md_core::Resu
         ..CpuRunOptions::default()
     };
     model.simulate(&profile, &bx, &x, &opts)
+}
+
+/// Runs the traced GPU-instance model for LJ with `recorder` attached, so
+/// the exported trace gets device lanes (`gpu 0`, `gpu host`) and the
+/// analyzer gets a [`md_model::gpu::GpuTimeline`].
+fn trace_gpu(recorder: &Recorder) -> md_core::Result<GpuTracedRun> {
+    let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1)?;
+    let (bx, x) = build_positions(Benchmark::Lj, 1, 1)?;
+    let mut model = GpuModel::new();
+    model.set_recorder(recorder.clone());
+    model.simulate_traced(&profile, &bx, &x, &GpuRunOptions::default(), 40)
 }

@@ -9,6 +9,7 @@
 //!          [--checkpoint-retain K] [--resume]
 //!          [--faults SPEC] [--trace out.json]
 //!          [--insight DIR] [--baselines DIR] [--update-baselines]
+//!          [--gpu-insight]
 //! ```
 //!
 //! `--threads T` runs the hot kernels (pair, neighbor build, PPPM) on `T`
@@ -44,10 +45,20 @@
 //! folds this run into the stored baseline (refused under fault injection,
 //! which would poison it). The process exits 3 when a perf regression is
 //! detected, so CI can gate on it.
+//!
+//! `--gpu-insight` additionally runs the traced GPU-instance model on the
+//! same deck: every modeled device gets its own trace lane (kernels and
+//! PCIe copies at simulated time; visible in `--trace` output), and the
+//! characterization report gains a per-device kernel/memcpy/idle breakdown
+//! plus a host↔device critical path, so "memcpy-bound" findings rank next
+//! to the imbalance ones (the paper's Figs. 7–9 mechanisms). Works with or
+//! without `--insight DIR`; without it the GPU-only report is printed.
 
 use md_core::{TaskKind, Threads};
 use md_harness::insight;
-use md_model::{CpuModel, CpuRunOptions, CpuRunResult, WorkloadProfile};
+use md_model::{
+    CpuModel, CpuRunOptions, CpuRunResult, GpuModel, GpuRunOptions, GpuTracedRun, WorkloadProfile,
+};
 use md_observe::{chrome_trace_json, ObserveConfig, Recorder};
 use md_resilience::{
     Checkpoint, CheckpointManager, FaultPlan, RecoveryPolicy, ResilientRunner, Watchdog,
@@ -79,6 +90,7 @@ struct Args {
     insight: Option<PathBuf>,
     baselines: PathBuf,
     update_baselines: bool,
+    gpu_insight: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,7 +100,7 @@ fn parse_args() -> Result<Args, String> {
          [--thermo N] [--threads T] [--deterministic] [--dump FILE] \
          [--write-data FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
          [--checkpoint-retain K] [--resume] [--faults SPEC] [--trace FILE] \
-         [--insight DIR] [--baselines DIR] [--update-baselines]"
+         [--insight DIR] [--baselines DIR] [--update-baselines] [--gpu-insight]"
             .to_string()
     })?;
     let benchmark = Benchmark::parse(&bench_name).map_err(|e| e.to_string())?;
@@ -109,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         insight: None,
         baselines: PathBuf::from("baselines"),
         update_baselines: false,
+        gpu_insight: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -149,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
             "--insight" => out.insight = Some(PathBuf::from(value("--insight")?)),
             "--baselines" => out.baselines = PathBuf::from(value("--baselines")?),
             "--update-baselines" => out.update_baselines = true,
+            "--gpu-insight" => out.gpu_insight = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -230,7 +244,8 @@ fn main() {
         || resilient
         || !args.faults.is_empty()
         || args.trace.is_some()
-        || args.insight.is_some();
+        || args.insight.is_some()
+        || args.gpu_insight;
     let recorder = Recorder::new(cfg);
     if recorder.is_enabled() {
         deck.simulation.set_recorder(recorder.clone());
@@ -345,10 +360,25 @@ fn main() {
         None
     };
 
+    // The traced GPU-instance model runs on the same deck: device lanes
+    // land in `--trace` output, the timeline feeds the report's per-device
+    // sections.
+    let gpu_run: Option<GpuTracedRun> = if args.gpu_insight {
+        match run_gpu_model(&args, &recorder) {
+            Ok(run) => Some(run),
+            Err(e) => fail(format!("modeled GPU run failed: {e}")),
+        }
+    } else {
+        None
+    };
+
     let mut regressed = false;
     if let Some(dir) = &args.insight {
         let (result, model_steps) = model_run.as_ref().expect("insight forces a model run");
         let mut report = insight::analyze(result, &recorder);
+        if let Some(gpu) = &gpu_run {
+            insight::attach_gpu(&mut report, &gpu.timeline);
+        }
         let obs = insight::observations(result, *model_steps);
         let update = args.update_baselines;
         if update && !args.faults.is_empty() {
@@ -382,6 +412,15 @@ fn main() {
         }
     }
 
+    // Without `--insight` the GPU sections still deserve a report.
+    if args.insight.is_none() {
+        if let Some(gpu) = &gpu_run {
+            let mut report = md_insight::InsightReport::default();
+            insight::attach_gpu(&mut report, &gpu.timeline);
+            println!("\n{}", report.render());
+        }
+    }
+
     if let Some(path) = &args.trace {
         match std::fs::write(path, chrome_trace_json(&recorder)) {
             Ok(()) => println!(
@@ -412,6 +451,42 @@ fn main() {
         eprintln!("perf regression detected; exiting 3");
         std::process::exit(3);
     }
+}
+
+/// Simulated-window length of the traced GPU-instance model (fixed so the
+/// device-lane trace and per-device shares are deck-reproducible).
+const GPU_MODEL_SIM_STEPS: u64 = 40;
+
+/// Runs the traced GPU-instance model (1 device, mixed precision) on the
+/// benchmark's reference deck: device lanes land on the recorder, and the
+/// returned timeline feeds the report's per-device breakdown and
+/// host↔device critical path.
+fn run_gpu_model(args: &Args, recorder: &Recorder) -> md_core::Result<GpuTracedRun> {
+    println!("\nmodeled GPU instance ({GPU_MODEL_SIM_STEPS} simulated steps, 1 device):");
+    let profile = WorkloadProfile::measure(args.benchmark, 20, 1)?;
+    let (bx, x) = build_positions(args.benchmark, 1, DECK_SEED)?;
+    let mut model = GpuModel::new();
+    model.set_recorder(recorder.clone());
+    let traced = model.simulate_traced(
+        &profile,
+        &bx,
+        &x,
+        &GpuRunOptions::default(),
+        GPU_MODEL_SIM_STEPS,
+    )?;
+    println!(
+        "  modeled {:.1} TS/s on {} device(s), {} host ranks, device utilization {:.0}%",
+        traced.result.ts_per_sec,
+        traced.result.gpus,
+        traced.result.host_ranks,
+        100.0 * traced.result.device_utilization
+    );
+    for counter in ["gpu_pcie_htod_bytes", "gpu_pcie_dtoh_bytes"] {
+        if let Some(v) = recorder.counter_value(counter) {
+            println!("  {counter:<20} {v:.0}");
+        }
+    }
+    Ok(traced)
 }
 
 /// Simulated-window floor for the modeled cluster, so baseline comparisons

@@ -9,9 +9,10 @@ use std::path::Path;
 
 use md_core::TaskKind;
 use md_insight::{
-    folded_stacks, openmetrics, Baseline, Breakdown, CriticalPathSummary, ImbalanceReport,
-    InsightReport, MpiTable, RegressionConfig,
+    folded_stacks, openmetrics, Baseline, Breakdown, CriticalPathSummary, DeviceCriticalPath,
+    GpuAttribution, ImbalanceReport, InsightReport, MpiTable, RegressionConfig,
 };
+use md_model::gpu::GpuTimeline;
 use md_model::CpuRunResult;
 use md_observe::Recorder;
 
@@ -61,6 +62,16 @@ pub fn analyze(result: &CpuRunResult, recorder: &Recorder) -> InsightReport {
     }
     report.finalize();
     report
+}
+
+/// Attaches the GPU model's traced offload schedule to the report: the
+/// per-device kernel/memcpy/idle breakdown and the host↔device critical
+/// path, then re-finalizes so "memcpy-bound" findings rank next to the
+/// imbalance ones.
+pub fn attach_gpu(report: &mut InsightReport, timeline: &GpuTimeline) {
+    report.gpu = Some(GpuAttribution::from_timeline(timeline));
+    report.device_critical = Some(DeviceCriticalPath::from_timeline(timeline));
+    report.finalize();
 }
 
 /// Compares the observations against `baselines_dir/<deck>.json` and stores
@@ -146,6 +157,28 @@ mod tests {
             !report.has_critical(),
             "healthy run has no critical finding"
         );
+    }
+
+    #[test]
+    fn attach_gpu_adds_device_sections_and_findings() {
+        use md_model::{GpuModel, GpuRunOptions};
+        let recorder = Recorder::new(ObserveConfig::default());
+        let result = modeled_run(&recorder);
+        let mut report = analyze(&result, &recorder);
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 10, 1).expect("profile");
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).expect("positions");
+        let traced = GpuModel::new()
+            .simulate_traced(&profile, &bx, &x, &GpuRunOptions::default(), 10)
+            .expect("traced run");
+        attach_gpu(&mut report, &traced.timeline);
+        assert!(report.gpu.is_some());
+        assert!(report.device_critical.is_some());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind.starts_with("gpu.") || f.kind.starts_with("critical_path.device")));
+        let rendered = report.render();
+        assert!(rendered.contains("per-device breakdown"));
     }
 
     #[test]

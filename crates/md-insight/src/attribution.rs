@@ -11,8 +11,11 @@
 //!   whose non-communication time sticks out, not the ones stuck in
 //!   `MPI_Wait`).
 //! - [`MpiTable`]: per-MPI-function overhead across ranks (Figs. 4–5).
+//! - [`GpuAttribution`]: per-device kernel-vs-memcpy-vs-idle shares and
+//!   PCIe traffic from the GPU model's traced offload schedule (Figs. 7–9).
 
 use md_core::{TaskKind, TaskLedger};
+use md_model::gpu::GpuTimeline;
 use md_observe::StepSample;
 use md_parallel::{MpiFunction, MpiLedger};
 
@@ -303,6 +306,147 @@ impl MpiTable {
     }
 }
 
+/// One modeled device's activity decomposition over a traced window: how
+/// much of the wall-clock window the device spent in compute kernels, in
+/// PCIe copies, and idle (waiting for the host segment or another device's
+/// longer round). This is the analyzed form of the paper's Figure 8 stacks
+/// — "memcpy-bound" is `memcpy_percent_of_active > 50`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceBreakdown {
+    /// Device id.
+    pub device: usize,
+    /// Seconds in compute kernels (everything that is not a PCIe copy,
+    /// including `[CUDA memset]` — it runs on the device).
+    pub kernel_seconds: f64,
+    /// Seconds in HtoD/DtoH copies.
+    pub memcpy_seconds: f64,
+    /// Seconds the device sat idle within the window.
+    pub idle_seconds: f64,
+    /// `kernel_seconds + memcpy_seconds`.
+    pub active_seconds: f64,
+    /// Memcpy share of *active* device time, 0..=100 (the Figure 8 metric).
+    pub memcpy_percent_of_active: f64,
+    /// Kernel share of active device time, 0..=100.
+    pub kernel_percent_of_active: f64,
+    /// Idle share of the whole window, 0..=100.
+    pub idle_percent: f64,
+    /// Mean host→device payload per step, bytes.
+    pub htod_bytes_per_step: f64,
+    /// Mean device→host payload per step, bytes.
+    pub dtoh_bytes_per_step: f64,
+}
+
+/// Per-device attribution of a traced GPU-model run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuAttribution {
+    /// Devices in id order.
+    pub devices: Vec<DeviceBreakdown>,
+    /// Steps the window covers.
+    pub steps: usize,
+    /// Wall-clock seconds of the window.
+    pub total_seconds: f64,
+    /// Mean memcpy share of active time across devices, 0..=100.
+    pub mean_memcpy_percent: f64,
+}
+
+impl GpuAttribution {
+    /// Decomposes a traced offload schedule per device.
+    pub fn from_timeline(timeline: &GpuTimeline) -> GpuAttribution {
+        let window: f64 = timeline.steps.iter().map(|s| s.seconds()).sum();
+        let nsteps = timeline.steps.len();
+        let mut kernel = vec![0.0f64; timeline.gpus];
+        let mut memcpy = vec![0.0f64; timeline.gpus];
+        // PCIe payload per direction, attributed to the device that moved it.
+        let mut htod = vec![0.0f64; timeline.gpus];
+        let mut dtoh = vec![0.0f64; timeline.gpus];
+        for step in &timeline.steps {
+            for seg in &step.segments {
+                if seg.kind.is_memcpy() {
+                    memcpy[seg.device] += seg.seconds;
+                    if seg.kind == md_model::KernelKind::MemcpyHtoD {
+                        htod[seg.device] += seg.bytes as f64;
+                    } else {
+                        dtoh[seg.device] += seg.bytes as f64;
+                    }
+                } else {
+                    kernel[seg.device] += seg.seconds;
+                }
+            }
+        }
+        let steps_f = (nsteps as f64).max(1.0);
+        let devices: Vec<DeviceBreakdown> = (0..timeline.gpus)
+            .map(|d| {
+                let active = kernel[d] + memcpy[d];
+                let idle = (window - active).max(0.0);
+                DeviceBreakdown {
+                    device: d,
+                    kernel_seconds: kernel[d],
+                    memcpy_seconds: memcpy[d],
+                    idle_seconds: idle,
+                    active_seconds: active,
+                    memcpy_percent_of_active: if active > 0.0 {
+                        100.0 * memcpy[d] / active
+                    } else {
+                        0.0
+                    },
+                    kernel_percent_of_active: if active > 0.0 {
+                        100.0 * kernel[d] / active
+                    } else {
+                        0.0
+                    },
+                    idle_percent: if window > 0.0 {
+                        100.0 * idle / window
+                    } else {
+                        0.0
+                    },
+                    htod_bytes_per_step: htod[d] / steps_f,
+                    dtoh_bytes_per_step: dtoh[d] / steps_f,
+                }
+            })
+            .collect();
+        let mean_memcpy = if devices.is_empty() {
+            0.0
+        } else {
+            devices
+                .iter()
+                .map(|d| d.memcpy_percent_of_active)
+                .sum::<f64>()
+                / devices.len() as f64
+        };
+        GpuAttribution {
+            devices,
+            steps: nsteps,
+            total_seconds: window,
+            mean_memcpy_percent: mean_memcpy,
+        }
+    }
+
+    /// Renders the per-device table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} device(s), {} steps, {:.6} s window\n\
+             device   kernel s     memcpy s     idle s   memcpy%  idle%  HtoD B/step  DtoH B/step\n",
+            self.devices.len(),
+            self.steps,
+            self.total_seconds
+        );
+        for d in &self.devices {
+            out.push_str(&format!(
+                "gpu {:<3} {:>10.6} {:>12.6} {:>10.6} {:>8.1} {:>6.1} {:>12.0} {:>12.0}\n",
+                d.device,
+                d.kernel_seconds,
+                d.memcpy_seconds,
+                d.idle_seconds,
+                d.memcpy_percent_of_active,
+                d.idle_percent,
+                d.htod_bytes_per_step,
+                d.dtoh_bytes_per_step
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +545,69 @@ mod tests {
         let r = ImbalanceReport::from_rank_ledgers(&ledgers);
         assert_eq!(r.suspect_rank, None);
         assert_eq!(r.per_task[TaskKind::Pair.index()].varavg_percent, 0.0);
+    }
+
+    #[test]
+    fn device_breakdown_decomposes_a_synthetic_timeline() {
+        use md_model::gpu::{GpuSegment, GpuStepSchedule};
+        use md_model::KernelKind;
+        // One device, one step: 1 s HtoD (100 B), 2 s kernel, 1 s DtoH
+        // (50 B), then a 1 s host segment → 5 s window, 1 s idle.
+        let seg = |kind, start, seconds, bytes| GpuSegment {
+            device: 0,
+            rank: 0,
+            kind,
+            start_seconds: start,
+            seconds,
+            bytes,
+        };
+        let timeline = GpuTimeline {
+            benchmark: md_workloads::Benchmark::Lj,
+            gpus: 1,
+            host_ranks: 1,
+            steps: vec![GpuStepSchedule {
+                step: 0,
+                start_seconds: 0.0,
+                host_seconds: 1.0,
+                device_seconds: 4.0,
+                device_busy: vec![4.0],
+                htod_bytes: 100,
+                dtoh_bytes: 50,
+                segments: vec![
+                    seg(KernelKind::MemcpyHtoD, 0.0, 1.0, 100),
+                    seg(KernelKind::KLjFast, 1.0, 2.0, 0),
+                    seg(KernelKind::MemcpyDtoH, 3.0, 1.0, 50),
+                ],
+            }],
+        };
+        let a = GpuAttribution::from_timeline(&timeline);
+        assert_eq!(a.steps, 1);
+        assert!((a.total_seconds - 5.0).abs() < 1e-12);
+        let d = &a.devices[0];
+        assert!((d.memcpy_seconds - 2.0).abs() < 1e-12);
+        assert!((d.kernel_seconds - 2.0).abs() < 1e-12);
+        assert!((d.idle_seconds - 1.0).abs() < 1e-12);
+        assert!((d.memcpy_percent_of_active - 50.0).abs() < 1e-9);
+        assert!((d.idle_percent - 20.0).abs() < 1e-9);
+        assert!((d.htod_bytes_per_step - 100.0).abs() < 1e-12);
+        assert!((d.dtoh_bytes_per_step - 50.0).abs() < 1e-12);
+        let rendered = a.render();
+        assert!(rendered.contains("gpu 0"));
+    }
+
+    #[test]
+    fn empty_timeline_yields_a_degenerate_attribution() {
+        let timeline = GpuTimeline {
+            benchmark: md_workloads::Benchmark::Lj,
+            gpus: 1,
+            host_ranks: 6,
+            steps: Vec::new(),
+        };
+        let a = GpuAttribution::from_timeline(&timeline);
+        assert_eq!(a.steps, 0);
+        assert_eq!(a.total_seconds, 0.0);
+        assert_eq!(a.devices[0].memcpy_percent_of_active, 0.0);
+        assert_eq!(a.mean_memcpy_percent, 0.0);
     }
 
     #[test]

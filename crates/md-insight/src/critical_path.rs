@@ -5,8 +5,15 @@
 //! (the frontier), how far the frontier advanced, and that rank's dominant
 //! task during the step. This module folds those records into a summary —
 //! which rank/task chain the run actually waited on.
+//!
+//! [`DeviceCriticalPath`] extends the same question across the host↔device
+//! boundary of the GPU model's traced offload schedule: each step's path
+//! bounces host → HtoD copy → kernels → DtoH copy → host, and the bounding
+//! segment is the single longest operation on that path — a PCIe copy for
+//! the memcpy-dominated decks, a pair kernel for EAM (Figs. 7–9).
 
 use md_core::TaskKind;
+use md_model::gpu::{GpuSegment, GpuTimeline, KernelKind};
 use md_parallel::CriticalStep;
 
 /// Aggregated view of a run's critical path.
@@ -107,6 +114,194 @@ impl CriticalPathSummary {
     }
 }
 
+/// Which side of the host↔device boundary bounds a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundSegment {
+    /// The host segment (integration, fixes, FFT, MPI) is the largest
+    /// share of the step's path.
+    Host,
+    /// PCIe copy time (HtoD + DtoH on the busiest device) is.
+    Copy,
+    /// Device compute-kernel time is.
+    Kernel,
+}
+
+impl BoundSegment {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundSegment::Host => "host",
+            BoundSegment::Copy => "copy",
+            BoundSegment::Kernel => "kernel",
+        }
+    }
+}
+
+/// One step's host↔device critical-path attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceStepBound {
+    /// Step index.
+    pub step: u64,
+    /// The busiest device this step (the one the host waited for).
+    pub device: usize,
+    /// Host-segment seconds.
+    pub host_seconds: f64,
+    /// Busiest-device round seconds.
+    pub device_seconds: f64,
+    /// The class of path time (host / copy / kernel) that bounds the step.
+    pub bound: BoundSegment,
+    /// The longest op within the bounding class (None when the host
+    /// segment bounds).
+    pub kind: Option<KernelKind>,
+    /// The bounding class's total duration, seconds.
+    pub seconds: f64,
+}
+
+/// Critical path across the host↔device boundary of a traced GPU run: each
+/// step's path is the busiest device's operation chain followed by the host
+/// segment, and the step is attributed to the largest class of time on it
+/// (total PCIe copy vs total kernel vs host segment). "Most steps are
+/// copy-bound" is the analyzed form of the paper's memcpy-domination
+/// finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCriticalPath {
+    /// Per-step attribution, step order.
+    pub steps: Vec<DeviceStepBound>,
+    /// Steps bounded by the host segment.
+    pub host_bound_steps: u64,
+    /// Steps bounded by a PCIe copy.
+    pub copy_bound_steps: u64,
+    /// Steps bounded by a device kernel.
+    pub kernel_bound_steps: u64,
+    /// Most common bounding side (None for a zero-step run; copy/kernel
+    /// over host on an exact tie — the device side is the finding).
+    pub dominant: Option<BoundSegment>,
+    /// Sum of the bounding operations' durations, seconds.
+    pub bound_seconds: f64,
+    /// Wall seconds of the whole window (device rounds + host segments).
+    pub total_seconds: f64,
+}
+
+impl DeviceCriticalPath {
+    /// Attributes each step of a traced offload schedule.
+    pub fn from_timeline(timeline: &GpuTimeline) -> DeviceCriticalPath {
+        let mut steps = Vec::with_capacity(timeline.steps.len());
+        let mut host_bound_steps = 0u64;
+        let mut copy_bound_steps = 0u64;
+        let mut kernel_bound_steps = 0u64;
+        let mut bound_seconds = 0.0;
+        for step in &timeline.steps {
+            let device = step
+                .device_busy
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite busy"))
+                .map_or(0, |(d, _)| d);
+            // The step's path: the busiest device's chain, then the host
+            // segment. Individual copies interleave with kernels on the
+            // chain, so the step is attributed to whichever *class* of
+            // path time is largest — total copy seconds vs total kernel
+            // seconds on the busiest device vs the host segment.
+            let mut copy_seconds = 0.0;
+            let mut kernel_seconds = 0.0;
+            let mut longest_copy: Option<&_> = None;
+            let mut longest_kernel: Option<&_> = None;
+            for seg in step.segments.iter().filter(|s| s.device == device) {
+                let (total, longest) = if seg.kind.is_memcpy() {
+                    (&mut copy_seconds, &mut longest_copy)
+                } else {
+                    (&mut kernel_seconds, &mut longest_kernel)
+                };
+                *total += seg.seconds;
+                if longest.is_none_or(|l: &GpuSegment| seg.seconds > l.seconds) {
+                    *longest = Some(seg);
+                }
+            }
+            // A device class wins ties against the host segment: the
+            // device side is the interesting attribution.
+            let (bound, kind, seconds) = if longest_copy.is_some()
+                && copy_seconds >= step.host_seconds
+                && copy_seconds >= kernel_seconds
+            {
+                (
+                    BoundSegment::Copy,
+                    longest_copy.map(|s| s.kind),
+                    copy_seconds,
+                )
+            } else if longest_kernel.is_some() && kernel_seconds >= step.host_seconds {
+                (
+                    BoundSegment::Kernel,
+                    longest_kernel.map(|s| s.kind),
+                    kernel_seconds,
+                )
+            } else {
+                (BoundSegment::Host, None, step.host_seconds)
+            };
+            match bound {
+                BoundSegment::Host => host_bound_steps += 1,
+                BoundSegment::Copy => copy_bound_steps += 1,
+                BoundSegment::Kernel => kernel_bound_steps += 1,
+            }
+            bound_seconds += seconds;
+            steps.push(DeviceStepBound {
+                step: step.step,
+                device,
+                host_seconds: step.host_seconds,
+                device_seconds: step.device_seconds,
+                bound,
+                kind,
+                seconds,
+            });
+        }
+        let dominant = [
+            (BoundSegment::Copy, copy_bound_steps),
+            (BoundSegment::Kernel, kernel_bound_steps),
+            (BoundSegment::Host, host_bound_steps),
+        ]
+        .iter()
+        .copied()
+        .filter(|&(_, n)| n > 0)
+        .max_by_key(|&(_, n)| n)
+        .map(|(side, _)| side);
+        DeviceCriticalPath {
+            steps,
+            host_bound_steps,
+            copy_bound_steps,
+            kernel_bound_steps,
+            dominant,
+            bound_seconds,
+            total_seconds: timeline.total_seconds(),
+        }
+    }
+
+    /// Renders the per-side tallies and the first few step attributions.
+    pub fn render(&self) -> String {
+        let total = self.steps.len();
+        let mut out = format!(
+            "host<->device critical path: {total} steps \
+             (host-bound {}, copy-bound {}, kernel-bound {})\n",
+            self.host_bound_steps, self.copy_bound_steps, self.kernel_bound_steps
+        );
+        for s in self.steps.iter().take(8) {
+            out.push_str(&format!(
+                "step {:>4}  gpu {}  bound by {:<6} {:<22} {:>12.6} s  (host {:.6} s, device {:.6} s)\n",
+                s.step,
+                s.device,
+                s.bound.label(),
+                s.kind.map_or("-", |k| k.label()),
+                s.seconds,
+                s.host_seconds,
+                s.device_seconds
+            ));
+        }
+        if total > 8 {
+            out.push_str(&format!("... ({} more steps)\n", total - 8));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +345,160 @@ mod tests {
         assert_eq!(s.rank_bound_steps, vec![0, 0]);
         assert_eq!(s.top_rank, None);
         assert_eq!(s.top_task, None);
+    }
+
+    #[test]
+    fn zero_step_zero_rank_run_renders_without_panicking() {
+        // The fully degenerate case: nothing tracked, no ranks known.
+        let s = CriticalPathSummary::from_steps(&[], 0);
+        assert_eq!(s.steps, 0);
+        assert!(s.rank_bound_steps.is_empty());
+        assert_eq!(s.top_rank, None);
+        let rendered = s.render();
+        assert!(rendered.contains("0 steps"));
+    }
+
+    #[test]
+    fn single_rank_run_attributes_everything_to_rank_zero() {
+        // A 1-rank run has a trivial critical path: rank 0 bounds every
+        // step by definition.
+        let steps: Vec<CriticalStep> = (0..5).map(|i| step(i, 0, 0.25, TaskKind::Pair)).collect();
+        let s = CriticalPathSummary::from_steps(&steps, 1);
+        assert_eq!(s.rank_bound_steps, vec![5]);
+        assert_eq!(s.top_rank, Some((0, 1.25)));
+        assert_eq!(s.top_task.unwrap().0, TaskKind::Pair);
+        s.render();
+    }
+
+    #[test]
+    fn all_ranks_tied_steps_produce_a_degenerate_but_sane_summary() {
+        // Regression guard for the work-minus-skew tie-break: when every
+        // rank's clock advances identically the cluster reports the lowest
+        // rank, so the summary must attribute all steps to rank 0 and not
+        // panic or invent spread.
+        let steps: Vec<CriticalStep> = (0..4).map(|i| step(i, 0, 1.0, TaskKind::Pair)).collect();
+        let s = CriticalPathSummary::from_steps(&steps, 4);
+        assert_eq!(s.rank_bound_steps, vec![4, 0, 0, 0]);
+        assert_eq!(s.rank_bound_seconds[1], 0.0);
+        assert_eq!(s.top_rank, Some((0, 4.0)));
+        assert!((s.total_seconds - 4.0).abs() < 1e-12);
+        s.render();
+    }
+
+    mod device {
+        use super::super::*;
+        use md_model::gpu::{GpuSegment, GpuStepSchedule};
+        use md_workloads::Benchmark;
+
+        fn seg(device: usize, kind: KernelKind, start: f64, seconds: f64) -> GpuSegment {
+            GpuSegment {
+                device,
+                rank: 0,
+                kind,
+                start_seconds: start,
+                seconds,
+                bytes: if kind.is_memcpy() { 64 } else { 0 },
+            }
+        }
+
+        fn timeline(steps: Vec<GpuStepSchedule>, gpus: usize) -> GpuTimeline {
+            GpuTimeline {
+                benchmark: Benchmark::Lj,
+                gpus,
+                host_ranks: gpus,
+                steps,
+            }
+        }
+
+        #[test]
+        fn copy_kernel_and_host_bound_steps_are_classified() {
+            let mk = |step: u64, start: f64, segments: Vec<GpuSegment>, host: f64| {
+                let device_seconds = segments.iter().map(|s| s.seconds).sum::<f64>();
+                GpuStepSchedule {
+                    step,
+                    start_seconds: start,
+                    host_seconds: host,
+                    device_seconds,
+                    device_busy: vec![device_seconds],
+                    htod_bytes: 64,
+                    dtoh_bytes: 64,
+                    segments,
+                }
+            };
+            let steps = vec![
+                // Step 0: the HtoD copy (3 s) is the longest op.
+                mk(
+                    0,
+                    0.0,
+                    vec![
+                        seg(0, KernelKind::MemcpyHtoD, 0.0, 3.0),
+                        seg(0, KernelKind::KLjFast, 3.0, 1.0),
+                    ],
+                    1.0,
+                ),
+                // Step 1: the kernel (4 s) is.
+                mk(
+                    1,
+                    5.0,
+                    vec![
+                        seg(0, KernelKind::MemcpyHtoD, 5.0, 1.0),
+                        seg(0, KernelKind::KLjFast, 6.0, 4.0),
+                    ],
+                    1.0,
+                ),
+                // Step 2: the host segment (6 s) is.
+                mk(
+                    2,
+                    11.0,
+                    vec![seg(0, KernelKind::MemcpyHtoD, 11.0, 1.0)],
+                    6.0,
+                ),
+            ];
+            let cp = DeviceCriticalPath::from_timeline(&timeline(steps, 1));
+            assert_eq!(cp.copy_bound_steps, 1);
+            assert_eq!(cp.kernel_bound_steps, 1);
+            assert_eq!(cp.host_bound_steps, 1);
+            assert_eq!(cp.steps[0].bound, BoundSegment::Copy);
+            assert_eq!(cp.steps[0].kind, Some(KernelKind::MemcpyHtoD));
+            assert_eq!(cp.steps[1].bound, BoundSegment::Kernel);
+            assert_eq!(cp.steps[2].bound, BoundSegment::Host);
+            assert_eq!(cp.steps[2].kind, None);
+            let rendered = cp.render();
+            assert!(rendered.contains("copy-bound 1"));
+            assert!(rendered.contains("[CUDA memcpy HtoD]"));
+        }
+
+        #[test]
+        fn zero_step_timeline_is_degenerate_not_a_panic() {
+            let cp = DeviceCriticalPath::from_timeline(&timeline(Vec::new(), 2));
+            assert_eq!(cp.steps.len(), 0);
+            assert_eq!(cp.dominant, None);
+            assert_eq!(cp.total_seconds, 0.0);
+            assert!(cp.render().contains("0 steps"));
+        }
+
+        #[test]
+        fn busiest_device_is_the_attributed_one() {
+            // Device 1 carries the longer round; the step's path must run
+            // through it even though device 0 also has segments.
+            let segments = vec![
+                seg(0, KernelKind::KLjFast, 0.0, 1.0),
+                seg(1, KernelKind::MemcpyHtoD, 0.0, 5.0),
+            ];
+            let steps = vec![GpuStepSchedule {
+                step: 0,
+                start_seconds: 0.0,
+                host_seconds: 1.0,
+                device_seconds: 5.0,
+                device_busy: vec![1.0, 5.0],
+                htod_bytes: 64,
+                dtoh_bytes: 0,
+                segments,
+            }];
+            let cp = DeviceCriticalPath::from_timeline(&timeline(steps, 2));
+            assert_eq!(cp.steps[0].device, 1);
+            assert_eq!(cp.steps[0].bound, BoundSegment::Copy);
+            assert_eq!(cp.dominant, Some(BoundSegment::Copy));
+        }
     }
 }

@@ -10,10 +10,15 @@
 //!   detection from step samples or ledgers; a LAMMPS-style `%varavg`
 //!   load-imbalance metric per task across virtual ranks
 //!   ([`ImbalanceReport`] names the suspect rank); per-MPI-function
-//!   overhead tables ([`MpiTable`], the Figs. 4–5 view).
+//!   overhead tables ([`MpiTable`], the Figs. 4–5 view); per-device
+//!   kernel/memcpy/idle decomposition of the GPU model's traced schedule
+//!   ([`GpuAttribution`], the Figs. 7–9 view).
 //! - [`critical_path`] — summarizes the virtual cluster's per-step
 //!   [`md_parallel::CriticalStep`] records: which rank/task chain actually
-//!   bounded the run ([`CriticalPathSummary`]).
+//!   bounded the run ([`CriticalPathSummary`]); extends the same question
+//!   across the host↔device boundary of the GPU model's traced offload
+//!   schedule ([`DeviceCriticalPath`] — a step's path can bounce
+//!   host → copy → kernel → copy → host).
 //! - [`regression`] — EWMA/z-score comparison of per-deck per-task
 //!   step-cost records against a stored [`Baseline`] (the `baselines/`
 //!   directory), producing a structured [`RegressionReport`].
@@ -34,8 +39,11 @@ pub mod export;
 pub mod regression;
 pub mod report;
 
-pub use attribution::{Breakdown, ImbalanceReport, MpiRow, MpiTable, TaskImbalance, TaskShare};
-pub use critical_path::CriticalPathSummary;
+pub use attribution::{
+    Breakdown, DeviceBreakdown, GpuAttribution, ImbalanceReport, MpiRow, MpiTable, TaskImbalance,
+    TaskShare,
+};
+pub use critical_path::{BoundSegment, CriticalPathSummary, DeviceCriticalPath, DeviceStepBound};
 pub use export::{folded_stacks, openmetrics, parse_folded, parse_openmetrics, OpenMetric};
 pub use regression::{
     Baseline, MetricBaseline, MetricVerdict, RegressionConfig, RegressionReport, Verdict,

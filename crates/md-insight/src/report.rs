@@ -5,8 +5,8 @@
 use md_core::TaskKind;
 use md_observe::Recorder;
 
-use crate::attribution::{Breakdown, ImbalanceReport, MpiTable};
-use crate::critical_path::CriticalPathSummary;
+use crate::attribution::{Breakdown, GpuAttribution, ImbalanceReport, MpiTable};
+use crate::critical_path::{BoundSegment, CriticalPathSummary, DeviceCriticalPath};
 use crate::regression::{RegressionReport, Verdict};
 
 /// How urgent a finding is.
@@ -55,6 +55,11 @@ pub struct InsightReport {
     pub mpi: Option<MpiTable>,
     /// Critical-path summary, if step tracking ran.
     pub critical: Option<CriticalPathSummary>,
+    /// Per-device kernel/memcpy/idle attribution, if the GPU model ran
+    /// traced.
+    pub gpu: Option<GpuAttribution>,
+    /// Host↔device critical path, if the GPU model ran traced.
+    pub device_critical: Option<DeviceCriticalPath>,
     /// Regression check, if a baseline was available.
     pub regression: Option<RegressionReport>,
     /// Severity-ranked findings (most severe first).
@@ -168,6 +173,66 @@ impl InsightReport {
                 });
             }
         }
+        if let Some(gpu) = &self.gpu {
+            if !gpu.devices.is_empty() && gpu.steps > 0 {
+                let htod: f64 = gpu.devices.iter().map(|d| d.htod_bytes_per_step).sum();
+                let dtoh: f64 = gpu.devices.iter().map(|d| d.dtoh_bytes_per_step).sum();
+                if gpu.mean_memcpy_percent > 50.0 {
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        kind: "gpu.memcpy_bound",
+                        message: format!(
+                            "modeled device time is memcpy-bound: {:.1}% of active device \
+                             time is PCIe copies across {} device(s) \
+                             ({:.0} B/step HtoD, {:.0} B/step DtoH)",
+                            gpu.mean_memcpy_percent,
+                            gpu.devices.len(),
+                            htod,
+                            dtoh
+                        ),
+                    });
+                } else {
+                    findings.push(Finding {
+                        severity: Severity::Info,
+                        kind: "gpu.kernel_bound",
+                        message: format!(
+                            "modeled device time is kernel-bound: compute kernels take \
+                             {:.1}% of active device time (memcpy {:.1}%)",
+                            100.0 - gpu.mean_memcpy_percent,
+                            gpu.mean_memcpy_percent
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(dcp) = &self.device_critical {
+            if let Some(side) = dcp.dominant {
+                let n = match side {
+                    BoundSegment::Host => dcp.host_bound_steps,
+                    BoundSegment::Copy => dcp.copy_bound_steps,
+                    BoundSegment::Kernel => dcp.kernel_bound_steps,
+                };
+                let share = 100.0 * n as f64 / dcp.steps.len().max(1) as f64;
+                findings.push(Finding {
+                    severity: if side == BoundSegment::Copy && share > 50.0 {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    },
+                    kind: match side {
+                        BoundSegment::Host => "critical_path.device_host",
+                        BoundSegment::Copy => "critical_path.device_copy",
+                        BoundSegment::Kernel => "critical_path.device_kernel",
+                    },
+                    message: format!(
+                        "the host<->device critical path is bounded by a {} segment in \
+                         {n} of {} steps ({share:.1}%)",
+                        side.label(),
+                        dcp.steps.len()
+                    ),
+                });
+            }
+        }
         if let Some(reg) = &self.regression {
             let regressed: Vec<&str> = reg
                 .verdicts
@@ -231,7 +296,12 @@ impl InsightReport {
             out.push_str("(none)\n");
         }
         for f in &self.findings {
-            out.push_str(&format!("[{:<8}] {}\n", f.severity.label(), f.message));
+            out.push_str(&format!(
+                "[{:<8}] {:<28} {}\n",
+                f.severity.label(),
+                f.kind,
+                f.message
+            ));
         }
         for (title, breakdown) in [
             ("engine task breakdown", &self.breakdown),
@@ -288,6 +358,14 @@ impl InsightReport {
         if let Some(cp) = &self.critical {
             out.push_str("\n-- critical path --\n");
             out.push_str(&cp.render());
+        }
+        if let Some(gpu) = &self.gpu {
+            out.push_str("\n-- per-device breakdown --\n");
+            out.push_str(&gpu.render());
+        }
+        if let Some(dcp) = &self.device_critical {
+            out.push_str("\n-- host<->device critical path --\n");
+            out.push_str(&dcp.render());
         }
         if let Some(reg) = &self.regression {
             out.push_str("\n-- perf regression --\n");
@@ -355,6 +433,102 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.kind == "imbalance.balanced"));
+    }
+
+    #[test]
+    fn gpu_sections_produce_ranked_findings() {
+        use crate::attribution::DeviceBreakdown;
+        use crate::critical_path::{BoundSegment, DeviceCriticalPath, DeviceStepBound};
+        let gpu = GpuAttribution {
+            devices: vec![DeviceBreakdown {
+                device: 0,
+                kernel_seconds: 1.0,
+                memcpy_seconds: 3.0,
+                idle_seconds: 1.0,
+                active_seconds: 4.0,
+                memcpy_percent_of_active: 75.0,
+                kernel_percent_of_active: 25.0,
+                idle_percent: 20.0,
+                htod_bytes_per_step: 4096.0,
+                dtoh_bytes_per_step: 2048.0,
+            }],
+            steps: 10,
+            total_seconds: 5.0,
+            mean_memcpy_percent: 75.0,
+        };
+        let dcp = DeviceCriticalPath {
+            steps: vec![DeviceStepBound {
+                step: 0,
+                device: 0,
+                host_seconds: 0.1,
+                device_seconds: 0.4,
+                bound: BoundSegment::Copy,
+                kind: Some(md_model::KernelKind::MemcpyHtoD),
+                seconds: 0.3,
+            }],
+            host_bound_steps: 0,
+            copy_bound_steps: 1,
+            kernel_bound_steps: 0,
+            dominant: Some(BoundSegment::Copy),
+            bound_seconds: 0.3,
+            total_seconds: 0.5,
+        };
+        let mut report = InsightReport {
+            gpu: Some(gpu),
+            device_critical: Some(dcp),
+            ..InsightReport::default()
+        };
+        report.finalize();
+        let memcpy = report
+            .findings
+            .iter()
+            .find(|f| f.kind == "gpu.memcpy_bound")
+            .expect("memcpy-bound finding");
+        assert_eq!(memcpy.severity, Severity::Warning);
+        assert!(memcpy.message.contains("75.0%"));
+        let copy = report
+            .findings
+            .iter()
+            .find(|f| f.kind == "critical_path.device_copy")
+            .expect("device-copy finding");
+        assert_eq!(copy.severity, Severity::Warning);
+        let rendered = report.render();
+        assert!(rendered.contains("per-device breakdown"));
+        assert!(rendered.contains("host<->device critical path"));
+    }
+
+    #[test]
+    fn kernel_bound_gpu_attribution_is_informational() {
+        use crate::attribution::DeviceBreakdown;
+        let gpu = GpuAttribution {
+            devices: vec![DeviceBreakdown {
+                device: 0,
+                kernel_seconds: 4.0,
+                memcpy_seconds: 1.0,
+                idle_seconds: 0.0,
+                active_seconds: 5.0,
+                memcpy_percent_of_active: 20.0,
+                kernel_percent_of_active: 80.0,
+                idle_percent: 0.0,
+                htod_bytes_per_step: 1024.0,
+                dtoh_bytes_per_step: 512.0,
+            }],
+            steps: 5,
+            total_seconds: 5.0,
+            mean_memcpy_percent: 20.0,
+        };
+        let mut report = InsightReport {
+            gpu: Some(gpu),
+            ..InsightReport::default()
+        };
+        report.finalize();
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == "gpu.kernel_bound")
+            .expect("kernel-bound finding");
+        assert_eq!(f.severity, Severity::Info);
+        assert!(!report.has_critical());
     }
 
     #[test]

@@ -186,6 +186,12 @@ pub const DTOH_BYTES_PER_ATOM: f64 = 12.0;
 /// (2.0 vs 2.6 GHz base, older core): scale host-side costs.
 pub const GPU_HOST_SLOWDOWN: f64 = 1.45;
 
+/// Per-(rank, step) jitter amplitude of the traced GPU offload schedule:
+/// kernel and copy durations wobble a few percent step to step (clock
+/// boost, PCIe arbitration), which is what lets the traced critical path
+/// move between devices without changing the closed-form means.
+pub const GPU_JITTER_AMPLITUDE: f64 = 0.04;
+
 // ---------------------------------------------------------------------------
 // Power model (paper: powerstat / nvidia-smi at 0.5 s sampling)
 // ---------------------------------------------------------------------------

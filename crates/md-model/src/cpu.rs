@@ -103,8 +103,10 @@ impl CpuRunResult {
     }
 }
 
-/// Deterministic per-(rank, step) jitter in `[-1, 1]` (splitmix64).
-fn jitter(rank: usize, step: u64) -> f64 {
+/// Deterministic per-(rank, step) jitter in `[-1, 1]` (splitmix64). Shared
+/// with the GPU model's traced schedule so both instances perturb their
+/// virtual clocks from the same stream.
+pub(crate) fn jitter(rank: usize, step: u64) -> f64 {
     let mut z = (rank as u64)
         .wrapping_mul(0x9e3779b97f4a7c15)
         .wrapping_add(step.wrapping_mul(0xbf58476d1ce4e5b9))

@@ -8,11 +8,23 @@
 //! fixes (SHAKE!), bonded forces, the FFT, and MPI communication stay on the
 //! host. This is exactly the data-movement-bound structure whose breakdown
 //! the paper's Figures 7–9 and 13 characterize.
+//!
+//! Two views of the same model:
+//!
+//! * [`GpuModel::simulate`] — the closed-form steady-state means (ledgers,
+//!   TS/s, utilization) that regenerate the figures;
+//! * [`GpuModel::simulate_traced`] — the same per-rank costs laid out as an
+//!   explicit step-by-step offload schedule ([`GpuTimeline`]): every kernel
+//!   and PCIe copy gets a start time and duration on its device, host
+//!   segments close each step, and (with a recorder attached) every device
+//!   gets its own md-observe trace lane at simulated time. md-insight's
+//!   per-device attribution and host↔device critical path consume this.
 
 use crate::calib;
 use crate::workload::WorkloadProfile;
 use md_core::{PrecisionMode, Result, SimBox, TaskKind, TaskLedger};
-use md_parallel::{Decomposition, WorkloadCensus};
+use md_observe::Recorder;
+use md_parallel::{Decomposition, RankLoad, WorkloadCensus};
 use md_workloads::Benchmark;
 
 /// GPU kernels and data-movement primitives of the paper's Figure 8 legend.
@@ -91,6 +103,13 @@ impl KernelKind {
             KernelKind::MakeRho => "make_rho",
             KernelKind::ParticleMap => "particle_map",
         }
+    }
+
+    /// Whether this is a PCIe copy (the HtoD/DtoH halves of the paper's
+    /// memcpy-domination finding; `[CUDA memset]` is device-local and does
+    /// not count).
+    pub fn is_memcpy(self) -> bool {
+        matches!(self, KernelKind::MemcpyDtoH | KernelKind::MemcpyHtoD)
     }
 
     fn index(self) -> usize {
@@ -202,14 +221,327 @@ impl GpuRunResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The traced offload schedule (device lanes, md-insight's input)
+// ---------------------------------------------------------------------------
+
+/// First md-observe trace lane used for modeled devices: device `d` records
+/// on lane `DEVICE_LANE_BASE + d`, named `"gpu d"`. Far above the virtual
+/// cluster's rank lanes (1..=nranks, plus its critical-path lane) so the two
+/// models can share one recorder without colliding.
+pub const DEVICE_LANE_BASE: u32 = 1024;
+
+/// Lane carrying the GPU model's per-step host segments (`"gpu host"`):
+/// integration, fixes, bonded forces, host FFT, MPI — everything the GPU
+/// package leaves on the CPU.
+pub const GPU_HOST_LANE: u32 = DEVICE_LANE_BASE - 1;
+
+/// Simulated seconds → trace microseconds.
+const US: f64 = 1e6;
+
+/// One scheduled device operation (kernel or PCIe copy) of the traced
+/// offload schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSegment {
+    /// Device executing the operation.
+    pub device: usize,
+    /// Host rank that enqueued it.
+    pub rank: usize,
+    /// Kernel or copy kind.
+    pub kind: KernelKind,
+    /// Absolute simulated start time, seconds.
+    pub start_seconds: f64,
+    /// Duration, seconds.
+    pub seconds: f64,
+    /// PCIe payload bytes (memcpys only; 0 for kernels).
+    pub bytes: u64,
+}
+
+/// One step of the traced offload schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuStepSchedule {
+    /// Step index.
+    pub step: u64,
+    /// Absolute simulated start of the step, seconds.
+    pub start_seconds: f64,
+    /// The step's host segment: starts when the busiest device round
+    /// retires, lasts until the slowest host rank finishes.
+    pub host_seconds: f64,
+    /// The busiest device's round (device side of the step), seconds.
+    pub device_seconds: f64,
+    /// Per-device busy time this step, seconds.
+    pub device_busy: Vec<f64>,
+    /// Host→device payload scheduled this step, bytes.
+    pub htod_bytes: u64,
+    /// Device→host payload scheduled this step, bytes.
+    pub dtoh_bytes: u64,
+    /// Device operations in schedule order (devices interleaved, each
+    /// device's operations contiguous in time).
+    pub segments: Vec<GpuSegment>,
+}
+
+impl GpuStepSchedule {
+    /// The step's duration: busiest device round plus host segment.
+    pub fn seconds(&self) -> f64 {
+        self.device_seconds + self.host_seconds
+    }
+}
+
+/// The step-by-step offload schedule of a traced GPU-model run: what
+/// md-insight's [`DeviceBreakdown`] and host↔device critical path consume,
+/// and what the recorder's device lanes visualize.
+///
+/// [`DeviceBreakdown`]: https://docs.rs/md-insight
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuTimeline {
+    /// Benchmark identity.
+    pub benchmark: Benchmark,
+    /// Devices.
+    pub gpus: usize,
+    /// Host ranks driving them.
+    pub host_ranks: usize,
+    /// Per-step schedules, in step order.
+    pub steps: Vec<GpuStepSchedule>,
+}
+
+impl GpuTimeline {
+    /// Total simulated wall time of the traced window, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.steps.iter().map(GpuStepSchedule::seconds).sum()
+    }
+}
+
+/// A traced GPU-model run: the closed-form result plus the schedule that
+/// realizes it.
+#[derive(Debug, Clone)]
+pub struct GpuTracedRun {
+    /// The closed-form steady-state result (identical to
+    /// [`GpuModel::simulate`] on the same inputs).
+    pub result: GpuRunResult,
+    /// The per-step offload schedule.
+    pub timeline: GpuTimeline,
+}
+
+/// One scheduled device operation: `(kind, seconds, payload bytes)`.
+type DeviceOp = (KernelKind, f64, u64);
+
+/// Everything one rank schedules in one steady-state step: individual
+/// device-op durations and host-side task costs. One source of truth shared
+/// by the closed-form ledger path and the traced schedule path, so the two
+/// stay in exact agreement.
+struct GpuRankCost {
+    zero: f64,
+    /// Total pair-kernel time (split 0.62/0.38 for EAM at the use site).
+    pair: f64,
+    neigh: f64,
+    info: f64,
+    transpose: f64,
+    memset: f64,
+    /// `kernel_special` (Rhodo only; 0 otherwise).
+    special: f64,
+    htod_atoms: f64,
+    dtoh_atoms: f64,
+    htod_atom_bytes: u64,
+    dtoh_atom_bytes: u64,
+    /// PPPM device kernels (0 without k-space).
+    map: f64,
+    rho: f64,
+    interp: f64,
+    mesh_dtoh: f64,
+    mesh_htod: f64,
+    mesh_dtoh_bytes: u64,
+    mesh_htod_bytes: u64,
+    host_modify: f64,
+    host_bond: f64,
+    host_comm: f64,
+    host_kspace: f64,
+    host_output: f64,
+}
+
+impl GpuRankCost {
+    /// Host-side seconds of this rank's step.
+    fn host_total(&self) -> f64 {
+        self.host_modify + self.host_bond + self.host_comm + self.host_kspace + self.host_output
+    }
+
+    /// Device operations in schedule order — positions in, build/compute,
+    /// PPPM mesh round-trip, forces out: `(kind, seconds, bytes)`.
+    fn device_ops(&self, bench: Benchmark) -> Vec<DeviceOp> {
+        let mut ops = Vec::with_capacity(14);
+        ops.push((
+            KernelKind::MemcpyHtoD,
+            self.htod_atoms,
+            self.htod_atom_bytes,
+        ));
+        ops.push((KernelKind::KernelZero, self.zero, 0));
+        ops.push((KernelKind::CalcNeighListCell, self.neigh, 0));
+        match bench {
+            Benchmark::Eam => {
+                ops.push((KernelKind::KEamFast, 0.62 * self.pair, 0));
+                ops.push((KernelKind::KEnergyFast, 0.38 * self.pair, 0));
+            }
+            Benchmark::Rhodo => ops.push((KernelKind::KCharmmLong, self.pair, 0)),
+            _ => ops.push((KernelKind::KLjFast, self.pair, 0)),
+        }
+        ops.push((KernelKind::KernelInfo, self.info, 0));
+        ops.push((KernelKind::Transpose, self.transpose, 0));
+        ops.push((KernelKind::Memset, self.memset, 0));
+        if self.special > 0.0 {
+            ops.push((KernelKind::KernelSpecial, self.special, 0));
+        }
+        if self.map > 0.0 {
+            ops.push((KernelKind::ParticleMap, self.map, 0));
+            ops.push((KernelKind::MakeRho, self.rho, 0));
+            ops.push((KernelKind::MemcpyDtoH, self.mesh_dtoh, self.mesh_dtoh_bytes));
+            ops.push((KernelKind::MemcpyHtoD, self.mesh_htod, self.mesh_htod_bytes));
+            ops.push((KernelKind::Interp, self.interp, 0));
+        }
+        ops.push((
+            KernelKind::MemcpyDtoH,
+            self.dtoh_atoms,
+            self.dtoh_atom_bytes,
+        ));
+        ops
+    }
+}
+
+/// Computes one rank's steady-state step costs (the body of the paper's
+/// Figure-8 schedule). Every expression matches the calibrated model
+/// exactly; both simulation paths consume these values.
+#[allow(clippy::too_many_arguments)]
+fn gpu_rank_cost(
+    profile: &WorkloadProfile,
+    bench: Benchmark,
+    load: &RankLoad,
+    ranks: usize,
+    pair_rate: f64,
+    atom_bytes_factor: f64,
+    per_atom_pairs: f64,
+) -> GpuRankCost {
+    let launch = calib::GPU_KERNEL_LAUNCH_SECONDS;
+    let hk = calib::GPU_HOUSEKEEPING_SECONDS;
+    let owned = load.owned as f64;
+    let nall = owned + load.ghosts as f64;
+
+    let zero = launch + hk * nall;
+    let pair = launch + pair_rate * per_atom_pairs * owned;
+    let neigh = (launch
+        + calib::GPU_NEIGH_CANDIDATE_SECONDS
+            * calib::NEIGH_SEARCH_FACTOR
+            * profile.stored_neighbors
+            * nall)
+        / profile.rebuild_interval;
+    let info = launch + hk * owned * 0.2;
+    let transpose = launch + hk * nall * 0.5;
+    let memset = launch + hk * nall * 0.3;
+    let special = if bench == Benchmark::Rhodo {
+        launch + hk * nall
+    } else {
+        0.0
+    };
+
+    // -- atom-data movement --
+    let htod_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
+        + nall * calib::HTOD_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
+    let dtoh_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
+        + owned * calib::DTOH_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
+    let htod_atom_bytes = (nall * calib::HTOD_BYTES_PER_ATOM * atom_bytes_factor) as u64;
+    let dtoh_atom_bytes = (owned * calib::DTOH_BYTES_PER_ATOM * atom_bytes_factor) as u64;
+
+    // -- PPPM mesh on the device, FFT on the host --
+    let (mut map, mut rho, mut interp) = (0.0, 0.0, 0.0);
+    let (mut mesh_dtoh, mut mesh_htod) = (0.0, 0.0);
+    let (mut mesh_dtoh_bytes, mut mesh_htod_bytes) = (0u64, 0u64);
+    let mut host_kspace = 0.0;
+    if let Some(ks) = profile.kspace {
+        let weights = (ks.order * ks.order * ks.order) as f64;
+        map = launch + 0.1e-9 * owned;
+        rho = launch + calib::GPU_MESH_SECONDS * weights * owned;
+        interp = launch + calib::GPU_MESH_SECONDS * weights * owned;
+
+        // Mesh bricks cross PCIe as strided slab copies: the charge
+        // density goes out, three field components come back (the
+        // HtoD growth of Section 7). Each z-plane pays a DMA setup.
+        let g_per_rank = ks.grid_points as f64 / ranks as f64;
+        let planes = ks.grid[2] as f64 * calib::PCIE_MESH_PLANE_LATENCY;
+        mesh_dtoh = g_per_rank * 4.0 / calib::PCIE_MESH_BANDWIDTH + planes;
+        mesh_htod = g_per_rank * 3.0 * 4.0 / calib::PCIE_MESH_BANDWIDTH + 3.0 * planes;
+        mesh_dtoh_bytes = (g_per_rank * 4.0) as u64;
+        mesh_htod_bytes = (g_per_rank * 3.0 * 4.0) as u64;
+
+        // Host FFT share.
+        let g = ks.grid_points as f64;
+        host_kspace =
+            calib::CPU_FFT_SECONDS * calib::GPU_HOST_SLOWDOWN * 4.0 * g * g.log2() / ranks as f64;
+    }
+
+    // -- host work --
+    let slow = calib::GPU_HOST_SLOWDOWN;
+    let mut host_modify = calib::CPU_INTEGRATE_SECONDS * slow * owned
+        + calib::CPU_SHAKE_SECONDS * slow * profile.constraints_per_atom * owned;
+    if bench == Benchmark::Rhodo {
+        host_modify += calib::CPU_NPT_SECONDS * slow * owned;
+    }
+    host_modify += calib::cpu_fix_seconds(bench) * slow * owned;
+    let host_bond = calib::CPU_BOND_SECONDS * slow * profile.bonded_per_atom * owned;
+    let host_comm = if ranks > 1 {
+        calib::CPU_PACK_SECONDS * slow * load.ghosts as f64
+            + calib::CPU_LINK.transfer(
+                load.ghosts as f64
+                    * (calib::FORWARD_BYTES_PER_GHOST + calib::REVERSE_BYTES_PER_GHOST),
+            )
+    } else {
+        0.0
+    };
+    let host_output = calib::CPU_OUTPUT_SECONDS * slow * owned / 100.0;
+
+    GpuRankCost {
+        zero,
+        pair,
+        neigh,
+        info,
+        transpose,
+        memset,
+        special,
+        htod_atoms,
+        dtoh_atoms,
+        htod_atom_bytes,
+        dtoh_atom_bytes,
+        map,
+        rho,
+        interp,
+        mesh_dtoh,
+        mesh_htod,
+        mesh_dtoh_bytes,
+        mesh_htod_bytes,
+        host_modify,
+        host_bond,
+        host_comm,
+        host_kspace,
+        host_output,
+    }
+}
+
 /// The GPU-instance performance model.
 #[derive(Debug, Clone, Default)]
-pub struct GpuModel;
+pub struct GpuModel {
+    recorder: Option<Recorder>,
+}
 
 impl GpuModel {
     /// Creates the model.
     pub fn new() -> Self {
-        GpuModel
+        GpuModel::default()
+    }
+
+    /// Attaches an observability recorder: traced runs
+    /// ([`GpuModel::simulate_traced`]) then emit one lane per device
+    /// (`"gpu 0"`, `"gpu 1"`, ...) with kernel and memcpy spans at
+    /// simulated time, a `"gpu host"` lane with the per-step host segments,
+    /// and cumulative `gpu_pcie_htod_bytes` / `gpu_pcie_dtoh_bytes`
+    /// counters.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Runs the model over real positions.
@@ -229,6 +561,33 @@ impl GpuModel {
         let decomp = Decomposition::new(*bx, ranks)?;
         let census = WorkloadCensus::measure(&decomp, positions, profile.ghost_cutoff);
         self.simulate_with_census(profile, &census, opts)
+    }
+
+    /// Runs the model and lays the per-rank costs out as an explicit
+    /// offload schedule over `sim_steps` steps: per-device trace lanes (if
+    /// a recorder is attached), a [`GpuTimeline`] for md-insight, and the
+    /// untouched closed-form result. Kernel and copy durations carry a
+    /// deterministic per-(rank, step) jitter
+    /// ([`calib::GPU_JITTER_AMPLITUDE`]) so the traced critical path can
+    /// move between devices; the closed-form means are computed without it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GpuModel::simulate`].
+    pub fn simulate_traced(
+        &self,
+        profile: &WorkloadProfile,
+        bx: &SimBox,
+        positions: &[md_core::V3],
+        opts: &GpuRunOptions,
+        sim_steps: u64,
+    ) -> Result<GpuTracedRun> {
+        let ranks = (calib::RANKS_PER_GPU * opts.gpus).min(calib::MAX_GPU_HOST_RANKS);
+        let decomp = Decomposition::new(*bx, ranks)?;
+        let census = WorkloadCensus::measure(&decomp, positions, profile.ghost_cutoff);
+        let result = self.simulate_with_census(profile, &census, opts)?;
+        let timeline = self.trace_schedule(profile, &census, opts, sim_steps);
+        Ok(GpuTracedRun { result, timeline })
     }
 
     /// Runs the model with an already-measured census over
@@ -265,8 +624,6 @@ impl GpuModel {
         // stays fp32 (the paper's build uses -DFFT_SINGLE).
         let atom_bytes_factor = opts.precision.compute_width() as f64 / 4.0;
         let per_atom_pairs = profile.stored_neighbors / 2.0; // GPU package: half lists
-        let launch = calib::GPU_KERNEL_LAUNCH_SECONDS;
-        let hk = calib::GPU_HOUSEKEEPING_SECONDS;
         let loads = census.loads();
 
         let mut kernels = KernelLedger::new();
@@ -280,122 +637,77 @@ impl GpuModel {
 
         for (r, load) in loads.iter().enumerate() {
             let device = r / ranks_per_gpu;
-            let owned = load.owned as f64;
-            let nall = owned + load.ghosts as f64;
+            let c = gpu_rank_cost(
+                profile,
+                bench,
+                load,
+                ranks,
+                pair_rate,
+                atom_bytes_factor,
+                per_atom_pairs,
+            );
 
             // -- device kernels --
             let mut dev = 0.0;
-            let zero = launch + hk * nall;
-            kernels.add(KernelKind::KernelZero, zero);
-            dev += zero;
+            kernels.add(KernelKind::KernelZero, c.zero);
+            dev += c.zero;
 
-            let pair_t = launch + pair_rate * per_atom_pairs * owned;
             match bench {
                 Benchmark::Eam => {
-                    kernels.add(KernelKind::KEamFast, 0.62 * pair_t);
-                    kernels.add(KernelKind::KEnergyFast, 0.38 * pair_t);
+                    kernels.add(KernelKind::KEamFast, 0.62 * c.pair);
+                    kernels.add(KernelKind::KEnergyFast, 0.38 * c.pair);
                 }
-                Benchmark::Rhodo => kernels.add(KernelKind::KCharmmLong, pair_t),
-                _ => kernels.add(KernelKind::KLjFast, pair_t),
+                Benchmark::Rhodo => kernels.add(KernelKind::KCharmmLong, c.pair),
+                _ => kernels.add(KernelKind::KLjFast, c.pair),
             }
-            dev += pair_t;
-            dev_pair += pair_t;
+            dev += c.pair;
+            dev_pair += c.pair;
 
-            let neigh_t = (launch
-                + calib::GPU_NEIGH_CANDIDATE_SECONDS
-                    * calib::NEIGH_SEARCH_FACTOR
-                    * profile.stored_neighbors
-                    * nall)
-                / profile.rebuild_interval;
-            kernels.add(KernelKind::CalcNeighListCell, neigh_t);
-            dev += neigh_t;
-            dev_neigh += neigh_t;
+            kernels.add(KernelKind::CalcNeighListCell, c.neigh);
+            dev += c.neigh;
+            dev_neigh += c.neigh;
 
-            let info = launch + hk * owned * 0.2;
-            kernels.add(KernelKind::KernelInfo, info);
-            let transpose = launch + hk * nall * 0.5;
-            kernels.add(KernelKind::Transpose, transpose);
-            let memset = launch + hk * nall * 0.3;
-            kernels.add(KernelKind::Memset, memset);
-            dev += info + transpose + memset;
+            kernels.add(KernelKind::KernelInfo, c.info);
+            kernels.add(KernelKind::Transpose, c.transpose);
+            kernels.add(KernelKind::Memset, c.memset);
+            dev += c.info + c.transpose + c.memset;
 
             if bench == Benchmark::Rhodo {
-                let special = launch + hk * nall;
-                kernels.add(KernelKind::KernelSpecial, special);
-                dev += special;
+                kernels.add(KernelKind::KernelSpecial, c.special);
+                dev += c.special;
             }
 
             // -- atom-data movement --
-            let htod_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
-                + nall * calib::HTOD_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
-            let dtoh_atoms = calib::PCIE_LATENCY * calib::PCIE_TRANSFERS_PER_STEP / 2.0
-                + owned * calib::DTOH_BYTES_PER_ATOM * atom_bytes_factor / calib::PCIE_BANDWIDTH;
-            kernels.add(KernelKind::MemcpyHtoD, htod_atoms);
-            kernels.add(KernelKind::MemcpyDtoH, dtoh_atoms);
-            dev += htod_atoms + dtoh_atoms;
-            dev_pair += htod_atoms + dtoh_atoms;
+            kernels.add(KernelKind::MemcpyHtoD, c.htod_atoms);
+            kernels.add(KernelKind::MemcpyDtoH, c.dtoh_atoms);
+            dev += c.htod_atoms + c.dtoh_atoms;
+            dev_pair += c.htod_atoms + c.dtoh_atoms;
 
             // -- PPPM mesh on the device, FFT on the host --
-            let mut host_kspace = 0.0;
-            if let Some(ks) = profile.kspace {
-                let weights = (ks.order * ks.order * ks.order) as f64;
-                let map = launch + 0.1e-9 * owned;
-                let rho = launch + calib::GPU_MESH_SECONDS * weights * owned;
-                let interp = launch + calib::GPU_MESH_SECONDS * weights * owned;
-                kernels.add(KernelKind::ParticleMap, map);
-                kernels.add(KernelKind::MakeRho, rho);
-                kernels.add(KernelKind::Interp, interp);
-                dev += map + rho + interp;
-                dev_kspace += map + rho + interp;
+            if profile.kspace.is_some() {
+                kernels.add(KernelKind::ParticleMap, c.map);
+                kernels.add(KernelKind::MakeRho, c.rho);
+                kernels.add(KernelKind::Interp, c.interp);
+                dev += c.map + c.rho + c.interp;
+                dev_kspace += c.map + c.rho + c.interp;
 
-                // Mesh bricks cross PCIe as strided slab copies: the charge
-                // density goes out, three field components come back (the
-                // HtoD growth of Section 7). Each z-plane pays a DMA setup.
-                let g_per_rank = ks.grid_points as f64 / ranks as f64;
-                let planes = ks.grid[2] as f64 * calib::PCIE_MESH_PLANE_LATENCY;
-                let mesh_dtoh = g_per_rank * 4.0 / calib::PCIE_MESH_BANDWIDTH + planes;
-                let mesh_htod = g_per_rank * 3.0 * 4.0 / calib::PCIE_MESH_BANDWIDTH + 3.0 * planes;
-                kernels.add(KernelKind::MemcpyDtoH, mesh_dtoh);
-                kernels.add(KernelKind::MemcpyHtoD, mesh_htod);
-                dev += mesh_dtoh + mesh_htod;
-                dev_kspace += mesh_dtoh + mesh_htod;
-
-                // Host FFT share.
-                let g = ks.grid_points as f64;
-                host_kspace =
-                    calib::CPU_FFT_SECONDS * calib::GPU_HOST_SLOWDOWN * 4.0 * g * g.log2()
-                        / ranks as f64;
+                kernels.add(KernelKind::MemcpyDtoH, c.mesh_dtoh);
+                kernels.add(KernelKind::MemcpyHtoD, c.mesh_htod);
+                dev += c.mesh_dtoh + c.mesh_htod;
+                dev_kspace += c.mesh_dtoh + c.mesh_htod;
             }
 
             device_busy[device] += dev;
 
             // -- host work --
-            let slow = calib::GPU_HOST_SLOWDOWN;
-            let mut host_modify = calib::CPU_INTEGRATE_SECONDS * slow * owned
-                + calib::CPU_SHAKE_SECONDS * slow * profile.constraints_per_atom * owned;
-            if bench == Benchmark::Rhodo {
-                host_modify += calib::CPU_NPT_SECONDS * slow * owned;
-            }
-            host_modify += calib::cpu_fix_seconds(bench) * slow * owned;
-            let host_bond = calib::CPU_BOND_SECONDS * slow * profile.bonded_per_atom * owned;
-            let host_comm = if ranks > 1 {
-                calib::CPU_PACK_SECONDS * slow * load.ghosts as f64
-                    + calib::CPU_LINK.transfer(
-                        load.ghosts as f64
-                            * (calib::FORWARD_BYTES_PER_GHOST + calib::REVERSE_BYTES_PER_GHOST),
-                    )
-            } else {
-                0.0
-            };
-            let host_output = calib::CPU_OUTPUT_SECONDS * slow * owned / 100.0;
-            let host = host_modify + host_bond + host_comm + host_kspace + host_output;
+            let host = c.host_modify + c.host_bond + c.host_comm + c.host_kspace + c.host_output;
             max_host = max_host.max(host);
 
-            tasks.add(TaskKind::Modify, host_modify / ranks as f64);
-            tasks.add(TaskKind::Bond, host_bond / ranks as f64);
-            tasks.add(TaskKind::Comm, host_comm / ranks as f64);
-            tasks.add(TaskKind::Kspace, host_kspace / ranks as f64);
-            tasks.add(TaskKind::Output, host_output / ranks as f64);
+            tasks.add(TaskKind::Modify, c.host_modify / ranks as f64);
+            tasks.add(TaskKind::Bond, c.host_bond / ranks as f64);
+            tasks.add(TaskKind::Comm, c.host_comm / ranks as f64);
+            tasks.add(TaskKind::Kspace, c.host_kspace / ranks as f64);
+            tasks.add(TaskKind::Output, c.host_output / ranks as f64);
         }
 
         // Device sharing: every rank waits for its device's full round.
@@ -445,6 +757,128 @@ impl GpuModel {
             ts_per_sec_per_watt: ts_per_sec / watts,
         })
     }
+
+    /// Lays the per-rank costs out as a step-by-step schedule: per device,
+    /// its ranks' operation chains run back to back (the time-multiplexed
+    /// round); the host segment closes the step once the busiest device
+    /// retires. Spans land on the device lanes if a recorder is attached.
+    fn trace_schedule(
+        &self,
+        profile: &WorkloadProfile,
+        census: &WorkloadCensus,
+        opts: &GpuRunOptions,
+        sim_steps: u64,
+    ) -> GpuTimeline {
+        let bench = profile.benchmark;
+        let ranks = census.nranks();
+        let ranks_per_gpu = ranks / opts.gpus;
+        let pair_rate =
+            calib::gpu_pair_seconds(bench) * calib::gpu_precision_factor(opts.precision);
+        let atom_bytes_factor = opts.precision.compute_width() as f64 / 4.0;
+        let per_atom_pairs = profile.stored_neighbors / 2.0;
+
+        let rank_ops: Vec<(Vec<DeviceOp>, f64)> = census
+            .loads()
+            .iter()
+            .map(|load| {
+                let c = gpu_rank_cost(
+                    profile,
+                    bench,
+                    load,
+                    ranks,
+                    pair_rate,
+                    atom_bytes_factor,
+                    per_atom_pairs,
+                );
+                (c.device_ops(bench), c.host_total())
+            })
+            .collect();
+
+        let rec = self.recorder.as_ref().filter(|r| r.is_enabled());
+        if let Some(rec) = rec {
+            rec.set_lane_name(GPU_HOST_LANE, "gpu host");
+            for d in 0..opts.gpus {
+                rec.set_lane_name(DEVICE_LANE_BASE + d as u32, format!("gpu {d}"));
+            }
+        }
+
+        let mut clock = 0.0f64;
+        let mut steps = Vec::with_capacity(sim_steps as usize);
+        for step in 0..sim_steps {
+            let mut segments = Vec::new();
+            let mut device_busy = vec![0.0f64; opts.gpus];
+            let mut htod_bytes = 0u64;
+            let mut dtoh_bytes = 0u64;
+            for (d, busy) in device_busy.iter_mut().enumerate() {
+                let mut cursor = clock;
+                for r in (d * ranks_per_gpu)..((d + 1) * ranks_per_gpu).min(ranks) {
+                    let jit = 1.0 + calib::GPU_JITTER_AMPLITUDE * crate::cpu::jitter(r, step);
+                    for &(kind, seconds, bytes) in &rank_ops[r].0 {
+                        let dur = seconds * jit;
+                        segments.push(GpuSegment {
+                            device: d,
+                            rank: r,
+                            kind,
+                            start_seconds: cursor,
+                            seconds: dur,
+                            bytes,
+                        });
+                        if let Some(rec) = rec {
+                            rec.record_span_at(
+                                DEVICE_LANE_BASE + d as u32,
+                                "gpu",
+                                kind.label(),
+                                cursor * US,
+                                dur * US,
+                            );
+                        }
+                        match kind {
+                            KernelKind::MemcpyHtoD => htod_bytes += bytes,
+                            KernelKind::MemcpyDtoH => dtoh_bytes += bytes,
+                            _ => {}
+                        }
+                        cursor += dur;
+                    }
+                }
+                *busy = cursor - clock;
+            }
+            let device_seconds = device_busy.iter().copied().fold(0.0, f64::max);
+            let host_start = clock + device_seconds;
+            let mut host_seconds = 0.0f64;
+            for (r, (_, host)) in rank_ops.iter().enumerate() {
+                let jit = 1.0 + calib::GPU_JITTER_AMPLITUDE * crate::cpu::jitter(r, step);
+                host_seconds = host_seconds.max(host * jit);
+            }
+            if let Some(rec) = rec {
+                rec.record_span_at(
+                    GPU_HOST_LANE,
+                    "gpu_host",
+                    "host",
+                    host_start * US,
+                    host_seconds * US,
+                );
+                rec.count(GPU_HOST_LANE, "gpu_pcie_htod_bytes", htod_bytes as f64);
+                rec.count(GPU_HOST_LANE, "gpu_pcie_dtoh_bytes", dtoh_bytes as f64);
+            }
+            steps.push(GpuStepSchedule {
+                step,
+                start_seconds: clock,
+                host_seconds,
+                device_seconds,
+                device_busy,
+                htod_bytes,
+                dtoh_bytes,
+                segments,
+            });
+            clock = host_start + host_seconds;
+        }
+        GpuTimeline {
+            benchmark: bench,
+            gpus: opts.gpus,
+            host_ranks: ranks,
+            steps,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +901,23 @@ mod tests {
                     gpus,
                     precision: PrecisionMode::Mixed,
                 },
+            )
+            .unwrap()
+    }
+
+    fn traced(bench: Benchmark, gpus: usize, sim_steps: u64) -> GpuTracedRun {
+        let profile = WorkloadProfile::measure(bench, 40, 1).unwrap();
+        let (bx, x) = build_positions(bench, 1, 1).unwrap();
+        GpuModel::new()
+            .simulate_traced(
+                &profile,
+                &bx,
+                &x,
+                &GpuRunOptions {
+                    gpus,
+                    precision: PrecisionMode::Mixed,
+                },
+                sim_steps,
             )
             .unwrap()
     }
@@ -567,5 +1018,88 @@ mod tests {
             .unwrap();
         let ratio = s.ts_per_sec / d.ts_per_sec;
         assert!(ratio > 1.12, "single/double ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn traced_run_reproduces_the_closed_form_result() {
+        let plain = run(Benchmark::Lj, 1, 2);
+        let t = traced(Benchmark::Lj, 2, 8);
+        assert_eq!(t.result.step_seconds, plain.step_seconds);
+        assert_eq!(t.result.kernels, plain.kernels);
+        assert_eq!(t.timeline.steps.len(), 8);
+        assert_eq!(t.timeline.gpus, 2);
+        assert_eq!(t.timeline.host_ranks, 12);
+    }
+
+    #[test]
+    fn schedule_is_contiguous_and_ordered_per_device() {
+        let t = traced(Benchmark::Lj, 2, 4);
+        for step in &t.timeline.steps {
+            assert!(step.device_seconds > 0.0 && step.host_seconds > 0.0);
+            assert_eq!(step.device_busy.len(), 2);
+            for d in 0..2 {
+                let segs: Vec<&GpuSegment> =
+                    step.segments.iter().filter(|s| s.device == d).collect();
+                assert!(!segs.is_empty());
+                // Back-to-back: each segment starts where the previous ended.
+                for w in segs.windows(2) {
+                    assert!(
+                        (w[1].start_seconds - (w[0].start_seconds + w[0].seconds)).abs() < 1e-12
+                    );
+                }
+                // The first op a rank schedules is the position upload, the
+                // last is the force download.
+                assert_eq!(segs.first().unwrap().kind, KernelKind::MemcpyHtoD);
+                assert_eq!(segs.last().unwrap().kind, KernelKind::MemcpyDtoH);
+                let busy: f64 = segs.iter().map(|s| s.seconds).sum();
+                assert!((busy - step.device_busy[d]).abs() < 1e-9 * busy.max(1.0));
+            }
+        }
+        // Steps are contiguous in simulated time.
+        for w in t.timeline.steps.windows(2) {
+            assert!((w[1].start_seconds - (w[0].start_seconds + w[0].seconds())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traced_memcpys_carry_byte_counts() {
+        let t = traced(Benchmark::Lj, 1, 2);
+        for step in &t.timeline.steps {
+            assert!(step.htod_bytes > 0 && step.dtoh_bytes > 0);
+            for s in &step.segments {
+                assert_eq!(s.kind.is_memcpy(), s.bytes > 0, "{:?}", s.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_gets_device_lanes_and_byte_counters() {
+        let rec = Recorder::new(md_observe::ObserveConfig::default());
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).unwrap();
+        let mut model = GpuModel::new();
+        model.set_recorder(rec.clone());
+        let t = model
+            .simulate_traced(&profile, &bx, &x, &GpuRunOptions::default(), 3)
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.lanes.get(&DEVICE_LANE_BASE).map(String::as_str),
+            Some("gpu 0")
+        );
+        assert_eq!(
+            snap.lanes.get(&GPU_HOST_LANE).map(String::as_str),
+            Some("gpu host")
+        );
+        let device_spans = snap
+            .events
+            .iter()
+            .filter(|e| e.lane == DEVICE_LANE_BASE && e.cat == "gpu")
+            .count();
+        let expected: usize = t.timeline.steps.iter().map(|s| s.segments.len()).sum();
+        assert_eq!(device_spans, expected);
+        let htod: f64 = t.timeline.steps.iter().map(|s| s.htod_bytes as f64).sum();
+        assert_eq!(snap.counters["gpu_pcie_htod_bytes"], htod);
+        assert!(snap.counters["gpu_pcie_dtoh_bytes"] > 0.0);
     }
 }

@@ -25,7 +25,10 @@ pub mod power;
 pub mod workload;
 
 pub use cpu::{CpuModel, CpuRunOptions, CpuRunResult};
-pub use gpu::{GpuModel, GpuRunOptions, GpuRunResult, KernelKind, KernelLedger};
+pub use gpu::{
+    GpuModel, GpuRunOptions, GpuRunResult, GpuSegment, GpuStepSchedule, GpuTimeline, GpuTracedRun,
+    KernelKind, KernelLedger, DEVICE_LANE_BASE, GPU_HOST_LANE,
+};
 pub use instance::{CpuSpec, GpuSpec, Instance};
 pub use multinode::{Interconnect, MultiNodeModel, MultiNodeResult};
 pub use workload::{KspaceWork, WorkloadProfile};

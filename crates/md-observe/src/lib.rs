@@ -43,6 +43,8 @@
 //! - `insight_*` — md-insight analysis outputs (`insight_findings`)
 //! - `imbalance_*` — md-insight load-imbalance attribution
 //!   (`imbalance_suspect_rank`, `imbalance_worst_varavg_pct`)
+//! - `gpu_*` — GPU-model device lanes and PCIe traffic
+//!   (`gpu_pcie_htod_bytes`, `gpu_pcie_dtoh_bytes`)
 //!
 //! Three engine-core counters predate the convention and are grandfathered
 //! as exact names: `neighbor_rebuilds`, `pair_interactions`,

@@ -12,6 +12,7 @@
 //! | `recovery_`  | md-resilience  | `recovery_rollback`                     |
 //! | `insight_`   | md-insight     | `insight_findings`                      |
 //! | `imbalance_` | md-insight     | `imbalance_worst_varavg_pct`            |
+//! | `gpu_`       | md-model       | `gpu_pcie_htod_bytes`                   |
 //!
 //! Three engine-core counters predate the convention and are grandfathered
 //! as exact names: `neighbor_rebuilds`, `pair_interactions`, `energy_drift`.
@@ -21,8 +22,14 @@
 //! `tests/insight_analysis.rs`.
 
 /// Subsystem prefixes a counter or gauge name may start with.
-pub const ALLOWED_COUNTER_PREFIXES: [&str; 5] =
-    ["health_", "fault_", "recovery_", "insight_", "imbalance_"];
+pub const ALLOWED_COUNTER_PREFIXES: [&str; 6] = [
+    "health_",
+    "fault_",
+    "recovery_",
+    "insight_",
+    "imbalance_",
+    "gpu_",
+];
 
 /// Engine-core counter names that predate the prefix convention.
 pub const ENGINE_COUNTER_NAMES: [&str; 3] =
@@ -43,7 +50,7 @@ mod tests {
     /// call sites must be added here (and follow the convention) — this is
     /// the registry half of the satellite check; the integration half
     /// asserts a live run's counter map in `tests/insight_analysis.rs`.
-    const PRODUCTION_COUNTERS: [&str; 19] = [
+    const PRODUCTION_COUNTERS: [&str; 21] = [
         "neighbor_rebuilds",
         "pair_interactions",
         "energy_drift",
@@ -63,6 +70,8 @@ mod tests {
         "insight_findings",
         "imbalance_suspect_rank",
         "imbalance_worst_varavg_pct",
+        "gpu_pcie_htod_bytes",
+        "gpu_pcie_dtoh_bytes",
     ];
 
     #[test]

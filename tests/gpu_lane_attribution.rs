@@ -1,0 +1,303 @@
+//! GPU-model lane attribution: the paper's headline GPU findings (Figs.
+//! 7–9) as executable tests over the traced offload schedule.
+//!
+//! - device-lane spans round-trip through the Chrome trace exporter
+//!   bit-identically (at the exporter's fixed microsecond precision);
+//! - the LJ deck on the 1-GPU model is memcpy-bound (>50% of active
+//!   device time is PCIe copies), while EAM keeps a larger kernel share
+//!   with its pair work split across `k_eam_fast`/`k_energy_fast`
+//!   (Fig. 8's kernel-vs-memcpy view);
+//! - the host↔device critical path names the PCIe copy class as the
+//!   bounding segment of LJ steps (the mechanism behind Fig. 9's poor
+//!   multi-GPU scaling);
+//! - the `run_deck --gpu-insight` CLI surfaces all of it: ranked finding,
+//!   device lanes in the trace file, PCIe counters in the OpenMetrics
+//!   export.
+
+use md_insight::{BoundSegment, DeviceCriticalPath, GpuAttribution};
+use md_model::{
+    GpuModel, GpuRunOptions, GpuTracedRun, KernelKind, WorkloadProfile, DEVICE_LANE_BASE,
+    GPU_HOST_LANE,
+};
+use md_observe::{chrome_trace_json, Json, ObserveConfig, Phase, Recorder};
+use md_workloads::{build_positions, Benchmark};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+
+const SIM_STEPS: u64 = 12;
+
+fn traced(bench: Benchmark, gpus: usize, recorder: Option<&Recorder>) -> GpuTracedRun {
+    let profile = WorkloadProfile::measure(bench, 40, 1).expect("profile");
+    let (bx, x) = build_positions(bench, 1, 1).expect("positions");
+    let mut model = GpuModel::new();
+    if let Some(rec) = recorder {
+        model.set_recorder(rec.clone());
+    }
+    model
+        .simulate_traced(
+            &profile,
+            &bx,
+            &x,
+            &GpuRunOptions {
+                gpus,
+                precision: md_core::PrecisionMode::Mixed,
+            },
+            SIM_STEPS,
+        )
+        .expect("traced run")
+}
+
+/// The LJ 1-GPU run is shared by several tests; the model is deterministic,
+/// so computing it once is safe.
+fn lj_run() -> &'static GpuTracedRun {
+    static RUN: OnceLock<GpuTracedRun> = OnceLock::new();
+    RUN.get_or_init(|| traced(Benchmark::Lj, 1, None))
+}
+
+/// The trace exporter prints timestamps/durations as `{:.3}` µs; an event
+/// round-trips bit-identically iff the parsed value equals the formatted
+/// one re-parsed.
+fn at_export_precision(us: f64) -> u64 {
+    format!("{us:.3}")
+        .parse::<f64>()
+        .expect("exporter text parses")
+        .to_bits()
+}
+
+#[test]
+fn device_lane_spans_round_trip_bit_identically_through_the_trace_exporter() {
+    let rec = Recorder::new(ObserveConfig {
+        enabled: true,
+        ..ObserveConfig::default()
+    });
+    let run = traced(Benchmark::Lj, 2, Some(&rec));
+    let total_segments: usize = run.timeline.steps.iter().map(|s| s.segments.len()).sum();
+    assert!(total_segments > 0, "traced run schedules device work");
+
+    // Expected spans: every device-lane event in the snapshot, keyed at
+    // the exporter's fixed precision.
+    let snap = rec.snapshot();
+    let mut expected: Vec<(u32, &str, u64, u64)> = snap
+        .events
+        .iter()
+        .filter(|e| e.lane >= GPU_HOST_LANE && e.phase == Phase::Span)
+        .map(|e| {
+            (
+                e.lane,
+                e.name,
+                at_export_precision(e.ts_us),
+                at_export_precision(e.dur_us),
+            )
+        })
+        .collect();
+    assert_eq!(
+        expected
+            .iter()
+            .filter(|(lane, ..)| *lane >= DEVICE_LANE_BASE)
+            .count(),
+        total_segments,
+        "one span per scheduled device op"
+    );
+
+    let doc = chrome_trace_json(&rec);
+    let json = Json::parse(&doc).expect("exporter emits valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+
+    // Device lanes are named for Perfetto.
+    let lane_names: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_owned))
+        .collect();
+    for name in ["gpu host", "gpu 0", "gpu 1"] {
+        assert!(
+            lane_names.iter().any(|n| n == name),
+            "missing lane {name:?} in {lane_names:?}"
+        );
+    }
+
+    // Parse every device-lane span back and compare the multisets bitwise.
+    let mut parsed: Vec<(u32, &str, u64, u64)> = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let lane = e.get("tid").and_then(Json::as_f64).expect("tid") as u32;
+        if lane < GPU_HOST_LANE {
+            continue;
+        }
+        let name = e.get("name").and_then(Json::as_str).expect("name");
+        let name = KernelKind::ALL
+            .iter()
+            .map(|k| k.label())
+            .chain(["host"])
+            .find(|l| *l == name)
+            .expect("device span names come from the kernel vocabulary");
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+        parsed.push((lane, name, ts.to_bits(), dur.to_bits()));
+    }
+    expected.sort_unstable();
+    parsed.sort_unstable();
+    assert_eq!(
+        parsed, expected,
+        "device-lane spans round-trip bit-identically"
+    );
+}
+
+#[test]
+fn lj_deck_on_one_gpu_is_memcpy_bound() {
+    let attr = GpuAttribution::from_timeline(&lj_run().timeline);
+    assert_eq!(attr.devices.len(), 1);
+    assert_eq!(attr.steps, SIM_STEPS as usize);
+    let d = &attr.devices[0];
+    // The paper's Fig. 8 finding: PCIe copies dominate active device time
+    // for the small LJ deck (modeled: ~86%).
+    assert!(
+        d.memcpy_percent_of_active > 50.0,
+        "LJ on 1 GPU must be memcpy-bound, got {:.1}%",
+        d.memcpy_percent_of_active
+    );
+    assert!(attr.mean_memcpy_percent > 50.0);
+    assert!(d.htod_bytes_per_step > 0.0 && d.dtoh_bytes_per_step > 0.0);
+    // Shares decompose: kernel + memcpy covers active time.
+    assert!((d.memcpy_percent_of_active + d.kernel_percent_of_active - 100.0).abs() < 1e-9);
+    assert!((d.active_seconds - (d.kernel_seconds + d.memcpy_seconds)).abs() < 1e-12);
+}
+
+#[test]
+fn eam_stays_kernel_bound_relative_to_lj() {
+    let eam = traced(Benchmark::Eam, 1, None);
+    let lj = lj_run();
+    let eam_attr = GpuAttribution::from_timeline(&eam.timeline);
+    let lj_attr = GpuAttribution::from_timeline(&lj.timeline);
+    // The PCIe latency term dominates every small deck in absolute terms
+    // (as in the paper's Fig. 8, where memcpy leads everywhere); "EAM
+    // stays kernel-bound" is relative: its split pair kernels keep a
+    // larger kernel share than LJ's single k_lj_fast.
+    assert!(
+        eam_attr.devices[0].kernel_percent_of_active > lj_attr.devices[0].kernel_percent_of_active,
+        "EAM kernel share {:.1}% must exceed LJ's {:.1}%",
+        eam_attr.devices[0].kernel_percent_of_active,
+        lj_attr.devices[0].kernel_percent_of_active
+    );
+    // Fig. 8's EAM signature: the pair work splits across k_eam_fast +
+    // k_energy_fast, together the largest compute contributor ...
+    let pair = eam.result.kernels.seconds(KernelKind::KEamFast)
+        + eam.result.kernels.seconds(KernelKind::KEnergyFast);
+    for (kind, seconds) in eam.result.kernels.iter() {
+        if !kind.is_memcpy() && kind != KernelKind::KEamFast && kind != KernelKind::KEnergyFast {
+            assert!(
+                pair > seconds,
+                "EAM pair kernels ({:.1} us) must outweigh {} ({:.1} us)",
+                pair * 1e6,
+                kind.label(),
+                seconds * 1e6
+            );
+        }
+    }
+    // ... and heavier than LJ's pair kernel on the same deck size.
+    let lj_pair = lj.result.kernels.seconds(KernelKind::KLjFast);
+    assert!(
+        pair > lj_pair,
+        "EAM pair work {pair} must exceed LJ's {lj_pair}"
+    );
+}
+
+#[test]
+fn host_device_critical_path_is_copy_bounded_for_lj() {
+    let cp = DeviceCriticalPath::from_timeline(&lj_run().timeline);
+    assert_eq!(cp.steps.len(), SIM_STEPS as usize);
+    // The acceptance criterion: at least one LJ step is bounded by the
+    // device copy (modeled: all of them).
+    assert!(cp.copy_bound_steps >= 1, "no copy-bound step found");
+    assert_eq!(cp.dominant, Some(BoundSegment::Copy));
+    let first = &cp.steps[0];
+    assert_eq!(first.bound, BoundSegment::Copy);
+    assert!(first.kind.expect("bounding op").is_memcpy());
+    assert!(
+        first.seconds >= first.host_seconds,
+        "copy class outweighs the host segment"
+    );
+    assert!(first.device_seconds > first.host_seconds);
+    // Totals are consistent and the render names the finding.
+    assert_eq!(
+        cp.host_bound_steps + cp.copy_bound_steps + cp.kernel_bound_steps,
+        SIM_STEPS
+    );
+    assert!(cp.total_seconds > 0.0 && cp.bound_seconds > 0.0);
+    assert!(cp.bound_seconds <= cp.total_seconds + 1e-12);
+    let rendered = cp.render();
+    assert!(rendered.contains("copy-bound"));
+    assert!(rendered.contains("[CUDA memcpy"));
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn run_deck_gpu_insight_cli_reports_and_exports_device_lanes() {
+    let tag = std::process::id();
+    let out_dir = std::env::temp_dir().join(format!("md-gpu-insight-{tag}"));
+    let trace_path = std::env::temp_dir().join(format!("md-gpu-trace-{tag}.json"));
+    let output = Command::new(env!("CARGO_BIN_EXE_run_deck"))
+        .current_dir(repo_root())
+        .args([
+            "lj",
+            "--steps",
+            "10",
+            "--thermo",
+            "10",
+            "--deterministic",
+            "--gpu-insight",
+        ])
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--insight")
+        .arg(&out_dir)
+        .args(["--baselines", "baselines"])
+        .output()
+        .expect("run_deck executes");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "run_deck --gpu-insight failed.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    // The report ranks the memcpy-bound finding and the copy-bound path.
+    assert!(
+        stdout.contains("gpu.memcpy_bound"),
+        "missing finding.\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("critical_path.device_copy"),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("per-device breakdown"), "stdout:\n{stdout}");
+
+    // The trace file carries the device lanes and memcpy spans.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    for needle in [
+        "\"gpu 0\"",
+        "\"gpu host\"",
+        "[CUDA memcpy HtoD]",
+        "[CUDA memcpy DtoH]",
+    ] {
+        assert!(trace.contains(needle), "trace missing {needle}");
+    }
+
+    // The OpenMetrics export carries the PCIe byte counters.
+    let om = std::fs::read_to_string(out_dir.join("metrics.om")).expect("metrics.om");
+    assert!(om.contains("md_gpu_pcie_htod_bytes"), "metrics:\n{om}");
+    assert!(om.contains("md_gpu_pcie_dtoh_bytes"), "metrics:\n{om}");
+    md_insight::parse_openmetrics(&om).expect("strict OpenMetrics round-trip");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let _ = std::fs::remove_file(&trace_path);
+}
