@@ -105,6 +105,21 @@ fn guard_disabled_overhead(c: &mut Criterion) {
          step samples, so the overhead budget is not representative"
             .to_string()
     };
+    // Cross-run trend store state: how many runs the committed per-deck
+    // history carries, and whether a >10% step-cost drift bisects to a
+    // specific run — recorded so the JSON carries the longitudinal view
+    // next to the per-run guard.
+    let baselines = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines"));
+    let history = md_insight::trend::load_history(baselines, "lj").unwrap_or_default();
+    let trend_runs = history.len();
+    let trend_bisect = md_insight::trend::bisect_regression(&history, "step_seconds.total", 0.10)
+        .map(|(i, e)| format!("run {} (commit {})", i, e.commit))
+        .unwrap_or_else(|| "none".to_string());
+    println!(
+        "trend: {trend_runs} historical lj run(s) in {}, >10% step-cost drift: {trend_bisect}",
+        baselines.display()
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"lj\",\n  \
          \"disabled_hook_s\": {:.6e},\n  \"hooks_per_step\": {HOOKS_PER_STEP},\n  \
@@ -112,6 +127,7 @@ fn guard_disabled_overhead(c: &mut Criterion) {
          \"max_overhead_fraction\": {MAX_OVERHEAD_FRACTION},\n  \
          \"analyze_total_s\": {:.6e},\n  \"analyze_per_model_step_s\": {:.6e},\n  \
          \"model_sim_steps\": {ANALYZE_SIM_STEPS},\n  \
+         \"trend_runs\": {trend_runs},\n  \"trend_bisect\": \"{trend_bisect}\",\n  \
          \"asserted\": {asserted},\n  \"skip_reason\": \"{skip_reason}\"\n}}\n",
         hook.as_secs_f64(),
         step.as_secs_f64(),

@@ -11,7 +11,8 @@
 //! root so runs can be compared across hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use md_core::Threads;
+use md_core::{TaskKind, Threads};
+use md_parallel::{CommPolicy, LinkModel, VirtualCluster};
 use md_resilience::{Checkpoint, Watchdog, WatchdogConfig};
 use md_workloads::{build_deck_with, Benchmark};
 use std::time::{Duration, Instant};
@@ -30,6 +31,33 @@ fn time_per_iter(iters: u64, mut body: impl FnMut()) -> Duration {
         body();
     }
     t0.elapsed() / iters.max(1) as u32
+}
+
+/// Wall-clock cost of ten modeled cluster steps (compute + halo exchange
+/// across an 8-rank ring), with or without the comm-health policing layer
+/// armed. The difference is the detection hook's real price: deadline
+/// bookkeeping plus a CRC over a framed ghost payload per exchange.
+fn model_halo_steps(policed: bool) -> Duration {
+    let link = LinkModel {
+        latency: 1.5e-6,
+        bandwidth: 11.0e9,
+    };
+    let partners: Vec<Vec<usize>> = (0..8).map(|r| vec![(r + 1) % 8, (r + 7) % 8]).collect();
+    let bytes = vec![1.0e5; 8];
+    time_per_iter(50, || {
+        let mut cluster = VirtualCluster::new(8);
+        if policed {
+            cluster.set_comm_policy(CommPolicy::default());
+        }
+        for step in 0..10 {
+            cluster.begin_step(step);
+            for r in 0..8 {
+                cluster.compute(r, TaskKind::Pair, 1.0e-3);
+            }
+            cluster.halo_exchange(&partners, &bytes, link);
+        }
+        std::hint::black_box(cluster.max_clock());
+    })
 }
 
 fn guard_resilience_overhead(c: &mut Criterion) {
@@ -57,6 +85,13 @@ fn guard_resilience_overhead(c: &mut Criterion) {
         std::hint::black_box(Checkpoint::capture(&deck, 3).encode());
     });
 
+    // Comm-health detection hook: policed minus unpoliced modeled halo
+    // steps, per step, guarded against the same engine-step budget.
+    let unpoliced = model_halo_steps(false);
+    let policed = model_halo_steps(true);
+    let comm_hook_per_step = (policed.as_secs_f64() - unpoliced.as_secs_f64()).max(0.0) / 10.0;
+    let comm_fraction = comm_hook_per_step / step.as_secs_f64().max(1e-12);
+
     let fraction = check.as_secs_f64() / step.as_secs_f64().max(1e-12);
     let amortized =
         (check.as_secs_f64() + save.as_secs_f64() / SNAPSHOT_EVERY) / step.as_secs_f64().max(1e-12);
@@ -72,6 +107,15 @@ fn guard_resilience_overhead(c: &mut Criterion) {
         encode.as_secs_f64() * 1e6,
         amortized * 100.0,
     );
+    println!(
+        "comm_guard: policed modeled step {:.2} us vs unpoliced {:.2} us — detection \
+         hook {:.3} us/step ({:.3}% of an engine step, budget {:.0}%)",
+        policed.as_secs_f64() * 1e5,
+        unpoliced.as_secs_f64() * 1e5,
+        comm_hook_per_step * 1e6,
+        comm_fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0,
+    );
 
     let json = format!(
         "{{\n  \"benchmark\": \"lj\",\n  \"step_s\": {:.6e},\n  \
@@ -79,6 +123,8 @@ fn guard_resilience_overhead(c: &mut Criterion) {
          \"checkpoint_encode_s\": {:.6e},\n  \"snapshot_every\": {SNAPSHOT_EVERY},\n  \
          \"watchdog_overhead_fraction\": {fraction:.6},\n  \
          \"snapshotting_overhead_fraction\": {amortized:.6},\n  \
+         \"comm_hook_s_per_step\": {comm_hook_per_step:.6e},\n  \
+         \"comm_overhead_fraction\": {comm_fraction:.6},\n  \
          \"overhead_budget\": {MAX_OVERHEAD_FRACTION}\n}}\n",
         step.as_secs_f64(),
         check.as_secs_f64(),
@@ -96,6 +142,12 @@ fn guard_resilience_overhead(c: &mut Criterion) {
         "checkpoint-disabled resilience overhead (watchdog check) {:.3}% of a step \
          (budget {:.0}%)",
         fraction * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0
+    );
+    assert!(
+        comm_fraction <= MAX_OVERHEAD_FRACTION,
+        "comm-health detection hook costs {:.3}% of an engine step (budget {:.0}%)",
+        comm_fraction * 100.0,
         MAX_OVERHEAD_FRACTION * 100.0
     );
 

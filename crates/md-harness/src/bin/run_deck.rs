@@ -8,6 +8,8 @@
 //!          [--checkpoint-every N] [--checkpoint-dir DIR]
 //!          [--checkpoint-retain K] [--resume]
 //!          [--faults SPEC] [--trace out.json]
+//!          [--comm-timeout SECS] [--max-rank-retries K]
+//!          [--repartition-every N]
 //!          [--insight DIR] [--baselines DIR] [--update-baselines]
 //!          [--gpu-insight]
 //! ```
@@ -31,8 +33,30 @@
 //! md-resilience grammar): engine faults (`force-flip:<atom>@<step>`) are
 //! caught by the numerical watchdog and rolled back under the recovery
 //! ladder; cluster faults (`rank-stall:<rank>@<step>`, `rank-slow`,
-//! `halo-drop`, `halo-dup`) additionally drive a modeled 8-rank virtual
-//! cluster whose per-rank lanes land in `--trace` output.
+//! `halo-drop`, `halo-dup`, `halo-corrupt`, `rank-crash`) additionally
+//! drive a modeled 8-rank virtual cluster whose per-rank lanes land in
+//! `--trace` output.
+//!
+//! ## Self-healing cluster
+//!
+//! A `rank-crash:<rank>@<step>` fault fail-stops a virtual rank. The
+//! comm-health layer detects the silence on the modeled cluster (deadline
+//! timeouts, seeded retry/backoff, per-rank retry budgets — tune with
+//! `--comm-timeout` and `--max-rank-retries`), and the resilient runner
+//! answers on the engine side: roll back to the last snapshot, re-decompose
+//! over N−1 ranks, and continue — the post-shrink trajectory is bitwise the
+//! crash-free one, because the shrink touches no physics knob. Every shrink
+//! prints a `[recovery] shrink:` line and is serialized (CRC-checked wire
+//! format) to `<checkpoint-dir>/shrink.reports`. When the cluster cannot
+//! shrink further the run exits 4 with a structured failure report.
+//! `halo-corrupt:<rank>@<step>` flips a byte in a framed ghost payload; the
+//! CRC check catches it and a budgeted retry re-transfers the halo.
+//!
+//! `--repartition-every N` turns on imbalance-aware repartitioning in the
+//! modeled cluster: every N steps the census names the suspect rank and the
+//! owned-atom loads are re-split in inverse proportion to the measured
+//! per-atom rates; the insight report ranks a `repartition.effective`
+//! finding when each re-split shrank the windowed compute `%varavg`.
 //!
 //! ## Analysis
 //!
@@ -43,8 +67,10 @@
 //! flamegraph tooling). Modeled per-task step costs are compared against
 //! `--baselines DIR` (default `baselines/`) per deck; `--update-baselines`
 //! folds this run into the stored baseline (refused under fault injection,
-//! which would poison it). The process exits 3 when a perf regression is
-//! detected, so CI can gate on it.
+//! which would poison it) and appends one provenance-tagged entry to the
+//! cross-run trend history `<baselines>/<deck>.history.jsonl`. The process
+//! exits 3 when a perf regression is detected (4 when a rank crash is
+//! unrecoverable), so CI can gate on it.
 //!
 //! `--gpu-insight` additionally runs the traced GPU-instance model on the
 //! same deck: every modeled device gets its own trace lane (kernels and
@@ -61,8 +87,8 @@ use md_model::{
 };
 use md_observe::{chrome_trace_json, ObserveConfig, Recorder};
 use md_resilience::{
-    Checkpoint, CheckpointManager, FaultPlan, RecoveryPolicy, ResilientRunner, Watchdog,
-    WatchdogConfig,
+    Checkpoint, CheckpointManager, FaultPlan, RecoveryPolicy, ResilienceError, ResilientRunner,
+    ShrinkReport, Watchdog, WatchdogConfig,
 };
 use md_workloads::io::{write_data, AtomStyle, XyzDump};
 use md_workloads::{build_deck_with, build_positions, Benchmark, Deck};
@@ -87,6 +113,9 @@ struct Args {
     resume: bool,
     faults: FaultPlan,
     trace: Option<PathBuf>,
+    comm_timeout: f64,
+    max_rank_retries: u32,
+    repartition_every: u64,
     insight: Option<PathBuf>,
     baselines: PathBuf,
     update_baselines: bool,
@@ -100,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
          [--thermo N] [--threads T] [--deterministic] [--dump FILE] \
          [--write-data FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
          [--checkpoint-retain K] [--resume] [--faults SPEC] [--trace FILE] \
+         [--comm-timeout SECS] [--max-rank-retries K] [--repartition-every N] \
          [--insight DIR] [--baselines DIR] [--update-baselines] [--gpu-insight]"
             .to_string()
     })?;
@@ -118,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         faults: FaultPlan::default(),
         trace: None,
+        comm_timeout: 0.0,
+        max_rank_retries: 3,
+        repartition_every: 0,
         insight: None,
         baselines: PathBuf::from("baselines"),
         update_baselines: false,
@@ -159,6 +192,24 @@ fn parse_args() -> Result<Args, String> {
                 out.faults = FaultPlan::parse(&value("--faults")?).map_err(|e| e.to_string())?;
             }
             "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+            "--comm-timeout" => {
+                out.comm_timeout = value("--comm-timeout")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if out.comm_timeout < 0.0 {
+                    return Err("--comm-timeout must be >= 0".to_string());
+                }
+            }
+            "--max-rank-retries" => {
+                out.max_rank_retries = value("--max-rank-retries")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--repartition-every" => {
+                out.repartition_every = value("--repartition-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
             "--insight" => out.insight = Some(PathBuf::from(value("--insight")?)),
             "--baselines" => out.baselines = PathBuf::from(value("--baselines")?),
             "--update-baselines" => out.update_baselines = true,
@@ -221,8 +272,10 @@ fn main() {
         }
     };
     let mut deck = obtain_deck(&args);
-    let resilient =
-        args.checkpoint_every > 0 || args.resume || !args.faults.engine_faults().is_empty();
+    let resilient = args.checkpoint_every > 0
+        || args.resume
+        || !args.faults.engine_faults().is_empty()
+        || !args.faults.crashes().is_empty();
 
     println!(
         "running {} at scale {} ({} atoms), {} steps, {}",
@@ -265,6 +318,11 @@ fn main() {
             Watchdog::new(WatchdogConfig::default()),
             args.faults.clone(),
         );
+        if !args.faults.crashes().is_empty() {
+            // Arm the degraded-mode shrink: the harness models 8 ranks, and
+            // a crashed one is rolled past by re-decomposing over N−1.
+            r = r.with_cluster(8, args.max_rank_retries);
+        }
         if args.checkpoint_every > 0 {
             let mgr = CheckpointManager::new(
                 &args.checkpoint_dir,
@@ -281,6 +339,7 @@ fn main() {
     let mut violations = 0u64;
     let mut rollbacks = 0u32;
     let mut checkpoints_written = 0u64;
+    let mut shrinks: Vec<ShrinkReport> = Vec::new();
     // `--steps` is the total target, so a resumed run finishes the same
     // trajectory an uninterrupted one would.
     while deck.simulation.step_index() < args.steps {
@@ -297,6 +356,18 @@ fn main() {
                     for m in &summary.mitigations {
                         println!("  [recovery] rolled back, mitigation: {m}");
                     }
+                    for s in &summary.shrinks {
+                        println!(
+                            "  [recovery] rank {} declared failed after {} exhausted retries",
+                            s.failed_rank, s.retries_spent
+                        );
+                        println!("  [recovery] shrink: {s}");
+                    }
+                    shrinks.extend(summary.shrinks);
+                }
+                Err(ResilienceError::Unrecoverable(report)) => {
+                    eprintln!("unrecoverable: {report}");
+                    std::process::exit(4);
                 }
                 Err(e) => fail(format!("unrecoverable: {e}")),
             }
@@ -340,11 +411,24 @@ fn main() {
             "health_temperature_spike",
             "health_escaped_atom",
             "health_step_error",
+            "health_rank_failed",
             "recovery_rollback",
             "recovery_mitigation",
+            "recovery_shrink",
         ] {
             if let Some(v) = recorder.counter_value(counter) {
                 println!("  {counter:<28} {v:.0}");
+            }
+        }
+        if !shrinks.is_empty() {
+            let path = args.checkpoint_dir.join("shrink.reports");
+            match write_shrink_reports(&path, &shrinks) {
+                Ok(()) => println!(
+                    "wrote {} shrink report(s) to {}",
+                    shrinks.len(),
+                    path.display()
+                ),
+                Err(e) => fail(format!("cannot write {}: {e}", path.display())),
             }
         }
     }
@@ -409,6 +493,16 @@ fn main() {
                     .join(format!("{}.json", args.benchmark))
                     .display()
             );
+            let deck_name = args.benchmark.to_string();
+            if let Err(e) =
+                insight::append_trend(&args.baselines, &deck_name, &obs, args.threads.count)
+            {
+                fail(format!("cannot append trend entry: {e}"));
+            }
+            println!(
+                "appended trend entry to {}",
+                md_insight::trend::history_path(&args.baselines, &deck_name).display()
+            );
         }
     }
 
@@ -451,6 +545,27 @@ fn main() {
         eprintln!("perf regression detected; exiting 3");
         std::process::exit(3);
     }
+}
+
+/// Serializes the run's shrink reports: a `u32` count, then each report as
+/// a length-prefixed [`ShrinkReport::encode`] blob (tagged, versioned,
+/// CRC-checked), little-endian throughout.
+fn write_shrink_reports(path: &std::path::Path, shrinks: &[ShrinkReport]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(
+        &u32::try_from(shrinks.len())
+            .expect("few shrinks")
+            .to_le_bytes(),
+    );
+    for s in shrinks {
+        let blob = s.encode();
+        buf.extend_from_slice(&u32::try_from(blob.len()).expect("small blob").to_le_bytes());
+        buf.extend_from_slice(&blob);
+    }
+    std::fs::write(path, buf)
 }
 
 /// Simulated-window length of the traced GPU-instance model (fixed so the
@@ -517,11 +632,26 @@ fn run_model_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<(CpuRu
     if args.faults.has_cluster_faults() {
         model.set_faults(Arc::new(args.faults.clone()));
     }
+    // Police the modeled exchanges when asked to, or whenever the fault
+    // schedule carries comm faults the detection layer must catch.
+    if args.comm_timeout > 0.0 || args.faults.has_comm_faults() {
+        model.set_comm_policy(md_parallel::CommPolicy {
+            timeout_seconds: if args.comm_timeout > 0.0 {
+                args.comm_timeout
+            } else {
+                md_parallel::CommPolicy::default().timeout_seconds
+            },
+            max_rank_retries: args.max_rank_retries,
+            seed: DECK_SEED,
+            ..md_parallel::CommPolicy::default()
+        });
+    }
     let opts = CpuRunOptions {
         ranks: 8,
         sim_steps: horizon,
         thermo_every: 10,
         collect_rank_stats: args.insight.is_some(),
+        repartition_every: args.repartition_every,
         ..CpuRunOptions::default()
     };
     let result = model.simulate(&profile, &bx, &x, &opts)?;
@@ -534,10 +664,31 @@ fn run_model_cluster(args: &Args, recorder: &Recorder) -> md_core::Result<(CpuRu
         "fault_rank_slow",
         "fault_halo_drop",
         "fault_halo_dup",
+        "fault_halo_corrupt",
+        "fault_rank_crash",
+        "comm_timeout",
+        "comm_corrupt",
+        "comm_retry",
+        "comm_budget_exhausted",
+        "imbalance_repartitions",
     ] {
         if let Some(v) = recorder.counter_value(counter) {
-            println!("  {counter:<18} {v:.0}");
+            println!("  {counter:<22} {v:.0}");
         }
+    }
+    for &r in &result.failed_ranks {
+        println!("  [comm] modeled rank {r} declared failed (retry budget exhausted)");
+    }
+    for ev in &result.repartitions {
+        println!(
+            "  [repartition] step {}: rank {} suspect, moved {} atoms, \
+             %varavg {:.1} -> {:.1}",
+            ev.step,
+            ev.suspect_rank,
+            ev.moved_atoms,
+            ev.varavg_before_percent,
+            ev.varavg_after_percent
+        );
     }
     Ok((result, opts.steps))
 }

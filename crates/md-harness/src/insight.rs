@@ -10,7 +10,8 @@ use std::path::Path;
 use md_core::TaskKind;
 use md_insight::{
     folded_stacks, openmetrics, Baseline, Breakdown, CriticalPathSummary, DeviceCriticalPath,
-    GpuAttribution, ImbalanceReport, InsightReport, MpiTable, RegressionConfig,
+    GpuAttribution, ImbalanceReport, InsightReport, MpiTable, RegressionConfig, RepartitionSummary,
+    TrendEntry,
 };
 use md_model::gpu::GpuTimeline;
 use md_model::CpuRunResult;
@@ -60,6 +61,7 @@ pub fn analyze(result: &CpuRunResult, recorder: &Recorder) -> InsightReport {
             result.ranks,
         ));
     }
+    report.repartition = RepartitionSummary::from_events(&result.repartitions);
     report.finalize();
     report
 }
@@ -97,6 +99,32 @@ pub fn check_regression(
         baseline.save(baselines_dir)?;
     }
     Ok(regressed)
+}
+
+/// Appends the run's observations to the per-deck trend history
+/// (`baselines_dir/<deck>.history.jsonl`). Provenance comes from the
+/// environment: `MD_COMMIT` (falling back to `GITHUB_SHA`) and `MD_HOST`
+/// (falling back to `HOSTNAME`), each `unknown` when unset — so CI tags
+/// entries without the harness shelling out to git.
+pub fn append_trend(
+    baselines_dir: &Path,
+    deck: &str,
+    obs: &BTreeMap<String, f64>,
+    threads: usize,
+) -> Result<(), String> {
+    let var = |names: &[&str]| {
+        names
+            .iter()
+            .find_map(|n| std::env::var(n).ok().filter(|v| !v.is_empty()))
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    let entry = TrendEntry {
+        commit: var(&["MD_COMMIT", "GITHUB_SHA"]),
+        host: var(&["MD_HOST", "HOSTNAME"]),
+        threads,
+        metrics: obs.clone(),
+    };
+    md_insight::trend::append_entry(baselines_dir, deck, &entry)
 }
 
 /// Writes the `--insight <dir>` artifacts: the rendered report, an
@@ -179,6 +207,22 @@ mod tests {
             .any(|f| f.kind.starts_with("gpu.") || f.kind.starts_with("critical_path.device")));
         let rendered = report.render();
         assert!(rendered.contains("per-device breakdown"));
+    }
+
+    #[test]
+    fn trend_appends_in_run_order_with_provenance() {
+        let dir = std::env::temp_dir().join(format!("md_trend_harness_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = BTreeMap::from([("step_seconds.total".to_string(), 0.5)]);
+        append_trend(&dir, "lj", &obs, 4).unwrap();
+        append_trend(&dir, "lj", &obs, 8).unwrap();
+        let history = md_insight::trend::load_history(&dir, "lj").unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].threads, 4);
+        assert_eq!(history[1].threads, 8);
+        assert!(!history[0].commit.is_empty());
+        assert_eq!(history[0].metrics["step_seconds.total"], 0.5);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

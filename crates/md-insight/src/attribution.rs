@@ -20,8 +20,9 @@ use md_observe::StepSample;
 use md_parallel::{MpiFunction, MpiLedger};
 
 /// A rank whose compute time exceeds the mean by more than this fraction is
-/// flagged as the imbalance suspect.
-pub const SUSPECT_EXCESS_THRESHOLD: f64 = 0.05;
+/// flagged as the imbalance suspect. Shared with md-parallel's census so the
+/// analyzer and the repartitioner name the same straggler.
+pub const SUSPECT_EXCESS_THRESHOLD: f64 = md_parallel::SUSPECT_EXCESS_FRACTION;
 
 /// One task's share of a breakdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -237,6 +238,40 @@ impl ImbalanceReport {
             per_task,
             rank_compute_seconds,
         }
+    }
+}
+
+/// Summary of the imbalance-aware re-splits a modeled run performed: did the
+/// feedback loop (census suspect → repartition) actually shrink the windowed
+/// compute `%varavg` every time it fired?
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepartitionSummary {
+    /// The re-splits, in step order.
+    pub events: Vec<md_model::RepartitionEvent>,
+    /// Whether *every* re-split strictly decreased the windowed `%varavg`.
+    pub effective: bool,
+    /// Total owned atoms moved across all re-splits.
+    pub total_moved_atoms: usize,
+    /// Windowed `%varavg` before the first re-split.
+    pub first_varavg_percent: f64,
+    /// Windowed `%varavg` after the last re-split.
+    pub last_varavg_percent: f64,
+}
+
+impl RepartitionSummary {
+    /// Summarizes a run's re-split events (e.g. `CpuRunResult::repartitions`).
+    /// Returns `None` when the run never re-split.
+    pub fn from_events(events: &[md_model::RepartitionEvent]) -> Option<RepartitionSummary> {
+        let (first, last) = (events.first()?, events.last()?);
+        Some(RepartitionSummary {
+            effective: events
+                .iter()
+                .all(|e| e.varavg_after_percent < e.varavg_before_percent),
+            total_moved_atoms: events.iter().map(|e| e.moved_atoms).sum(),
+            first_varavg_percent: first.varavg_before_percent,
+            last_varavg_percent: last.varavg_after_percent,
+            events: events.to_vec(),
+        })
     }
 }
 
@@ -608,6 +643,26 @@ mod tests {
         assert_eq!(a.total_seconds, 0.0);
         assert_eq!(a.devices[0].memcpy_percent_of_active, 0.0);
         assert_eq!(a.mean_memcpy_percent, 0.0);
+    }
+
+    #[test]
+    fn repartition_summary_judges_effectiveness() {
+        use md_model::RepartitionEvent;
+        let ev = |step, before, after| RepartitionEvent {
+            step,
+            suspect_rank: 3,
+            moved_atoms: 100,
+            varavg_before_percent: before,
+            varavg_after_percent: after,
+        };
+        assert!(RepartitionSummary::from_events(&[]).is_none());
+        let good = RepartitionSummary::from_events(&[ev(20, 40.0, 5.0), ev(40, 5.0, 2.0)]).unwrap();
+        assert!(good.effective);
+        assert_eq!(good.total_moved_atoms, 200);
+        assert!((good.first_varavg_percent - 40.0).abs() < 1e-12);
+        assert!((good.last_varavg_percent - 2.0).abs() < 1e-12);
+        let bad = RepartitionSummary::from_events(&[ev(20, 40.0, 45.0)]).unwrap();
+        assert!(!bad.effective, "a re-split that grew %varavg is a failure");
     }
 
     #[test]

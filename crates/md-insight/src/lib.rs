@@ -22,6 +22,10 @@
 //! - [`regression`] — EWMA/z-score comparison of per-deck per-task
 //!   step-cost records against a stored [`Baseline`] (the `baselines/`
 //!   directory), producing a structured [`RegressionReport`].
+//! - [`trend`] — an append-only per-deck JSONL history of headline metrics
+//!   tagged with commit/host/threads, with longitudinal summaries and a
+//!   drift bisector ([`trend::bisect_regression`] names the run that first
+//!   pushed a metric past tolerance).
 //! - [`export`] — OpenMetrics text snapshots and folded-stack (flamegraph)
 //!   output from an [`md_observe::ObserveSnapshot`], with strict parsers so
 //!   tests can round-trip both formats.
@@ -38,10 +42,11 @@ pub mod critical_path;
 pub mod export;
 pub mod regression;
 pub mod report;
+pub mod trend;
 
 pub use attribution::{
-    Breakdown, DeviceBreakdown, GpuAttribution, ImbalanceReport, MpiRow, MpiTable, TaskImbalance,
-    TaskShare,
+    Breakdown, DeviceBreakdown, GpuAttribution, ImbalanceReport, MpiRow, MpiTable,
+    RepartitionSummary, TaskImbalance, TaskShare,
 };
 pub use critical_path::{BoundSegment, CriticalPathSummary, DeviceCriticalPath, DeviceStepBound};
 pub use export::{folded_stacks, openmetrics, parse_folded, parse_openmetrics, OpenMetric};
@@ -49,3 +54,4 @@ pub use regression::{
     Baseline, MetricBaseline, MetricVerdict, RegressionConfig, RegressionReport, Verdict,
 };
 pub use report::{Finding, InsightReport, Severity};
+pub use trend::{TrendEntry, TrendSummary};

@@ -1,0 +1,284 @@
+//! Cross-run perf trend store: an append-only JSONL history per deck.
+//!
+//! [`regression`](crate::regression) answers "did *this* run drift from the
+//! folded baseline?"; this module keeps the raw sequence so CI can answer
+//! the longitudinal questions — how a metric moved across commits, and
+//! *which* commit first pushed it past tolerance ([`bisect_regression`]).
+//!
+//! The store is one file per deck under the `baselines/` directory,
+//! `<deck>.history.jsonl`, one [`TrendEntry`] per line. Entries carry
+//! provenance (commit, host, thread count) but deliberately no timestamps:
+//! the history must be byte-reproducible for a given sequence of runs.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use md_observe::json::{escape, Json};
+
+/// One run's headline metrics, tagged with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendEntry {
+    /// Commit the run was built from (`unknown` outside a checkout).
+    pub commit: String,
+    /// Host label the run executed on.
+    pub host: String,
+    /// Worker threads the engine used.
+    pub threads: usize,
+    /// Metric name → value, sorted for stable serialization.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl TrendEntry {
+    /// Serializes the entry as a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"commit\": {}, ", escape(&self.commit)));
+        out.push_str(&format!("\"host\": {}, ", escape(&self.host)));
+        out.push_str(&format!("\"threads\": {}, ", self.threads));
+        out.push_str("\"metrics\": {");
+        let mut first = true;
+        for (name, v) in &self.metrics {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("{}: {:.9e}", escape(name), v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses one [`TrendEntry::to_json_line`] line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn parse(line: &str) -> Result<TrendEntry, String> {
+        let root = Json::parse(line)?;
+        let text = |key: &str| {
+            root.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing \"{key}\""))
+        };
+        let threads = root
+            .get("threads")
+            .and_then(Json::as_f64)
+            .ok_or("missing \"threads\"")? as usize;
+        let mut metrics = BTreeMap::new();
+        match root.get("metrics") {
+            Some(Json::Obj(m)) => {
+                for (name, v) in m {
+                    let v = v
+                        .as_f64()
+                        .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+                    metrics.insert(name.clone(), v);
+                }
+            }
+            _ => return Err("missing \"metrics\" object".to_string()),
+        }
+        Ok(TrendEntry {
+            commit: text("commit")?,
+            host: text("host")?,
+            threads,
+            metrics,
+        })
+    }
+}
+
+/// `<dir>/<deck>.history.jsonl`.
+pub fn history_path(dir: &Path, deck: &str) -> PathBuf {
+    dir.join(format!("{deck}.history.jsonl"))
+}
+
+/// Appends one entry to the deck's history, creating directory and file on
+/// first use.
+///
+/// # Errors
+///
+/// Returns the I/O error message with the path.
+pub fn append_entry(dir: &Path, deck: &str, entry: &TrendEntry) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = history_path(dir, deck);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "{}", entry.to_json_line()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads the deck's full history in append order. A missing file is an
+/// empty history, not an error; a malformed line is an error naming its
+/// line number.
+///
+/// # Errors
+///
+/// Returns the I/O or parse error message with the path.
+pub fn load_history(dir: &Path, deck: &str) -> Result<Vec<TrendEntry>, String> {
+    let path = history_path(dir, deck);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            TrendEntry::parse(l).map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// How one metric moved over a history window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSummary {
+    /// The metric.
+    pub metric: String,
+    /// Entries that carry it.
+    pub runs: usize,
+    /// Oldest value.
+    pub first: f64,
+    /// Newest value.
+    pub last: f64,
+    /// Window minimum.
+    pub min: f64,
+    /// Window maximum.
+    pub max: f64,
+    /// `100 · (last − first) / first` (0 when first = 0).
+    pub delta_percent: f64,
+}
+
+/// Summarizes `metric` over the history; `None` when no entry carries it.
+pub fn summarize(history: &[TrendEntry], metric: &str) -> Option<TrendSummary> {
+    let values: Vec<f64> = history
+        .iter()
+        .filter_map(|e| e.metrics.get(metric).copied())
+        .collect();
+    let (&first, &last) = (values.first()?, values.last()?);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(TrendSummary {
+        metric: metric.to_string(),
+        runs: values.len(),
+        first,
+        last,
+        min,
+        max,
+        delta_percent: if first != 0.0 {
+            100.0 * (last - first) / first
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Finds the first entry whose `metric` deviates from the history's initial
+/// value by more than `rel_tolerance` (e.g. `0.10` = 10%) — the commit that
+/// introduced the drift. Entries without the metric are skipped.
+pub fn bisect_regression<'a>(
+    history: &'a [TrendEntry],
+    metric: &str,
+    rel_tolerance: f64,
+) -> Option<(usize, &'a TrendEntry)> {
+    let mut reference: Option<f64> = None;
+    for (i, e) in history.iter().enumerate() {
+        let Some(&v) = e.metrics.get(metric) else {
+            continue;
+        };
+        match reference {
+            None => reference = Some(v),
+            Some(r) if r != 0.0 && ((v - r) / r).abs() > rel_tolerance => {
+                return Some((i, e));
+            }
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+/// Renders the history of one metric as a commit-per-row table.
+pub fn render(history: &[TrendEntry], metric: &str) -> String {
+    let mut out = format!("trend: {metric} ({} run(s))\n", history.len());
+    out.push_str("commit        host            threads        value\n");
+    for e in history {
+        let value = e
+            .metrics
+            .get(metric)
+            .map_or("-".to_string(), |v| format!("{v:.6}"));
+        let short: String = e.commit.chars().take(12).collect();
+        out.push_str(&format!(
+            "{:<13} {:<15} {:>7} {:>12}\n",
+            short, e.host, e.threads, value
+        ));
+    }
+    if let Some(s) = summarize(history, metric) {
+        out.push_str(&format!(
+            "first {:.6} -> last {:.6} ({:+.1}%), min {:.6}, max {:.6}\n",
+            s.first, s.last, s.delta_percent, s.min, s.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(commit: &str, value: f64) -> TrendEntry {
+        TrendEntry {
+            commit: commit.to_string(),
+            host: "ci".to_string(),
+            threads: 4,
+            metrics: BTreeMap::from([
+                ("step_seconds".to_string(), value),
+                ("ts_per_sec".to_string(), 1.0 / value),
+            ]),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_the_jsonl_line() {
+        let e = entry("abc123", 0.0025);
+        let parsed = TrendEntry::parse(&e.to_json_line()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_the_field_name() {
+        let err = TrendEntry::parse("{\"commit\": \"x\"}").unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn append_then_load_preserves_order() {
+        let dir = std::env::temp_dir().join(format!("md_trend_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for (c, v) in [("aaa", 1.0), ("bbb", 1.01), ("ccc", 1.5)] {
+            append_entry(&dir, "lj", &entry(c, v)).unwrap();
+        }
+        let history = load_history(&dir, "lj").unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[0].commit, "aaa");
+        assert_eq!(history[2].commit, "ccc");
+        assert!(load_history(&dir, "rhodo").unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summarize_and_bisect_name_the_drifting_run() {
+        let history = vec![entry("aaa", 1.0), entry("bbb", 1.02), entry("ccc", 1.5)];
+        let s = summarize(&history, "step_seconds").unwrap();
+        assert_eq!(s.runs, 3);
+        assert!((s.delta_percent - 50.0).abs() < 1e-9);
+        let (i, e) = bisect_regression(&history, "step_seconds", 0.10).unwrap();
+        assert_eq!((i, e.commit.as_str()), (2, "ccc"), "ccc broke it");
+        assert!(bisect_regression(&history, "step_seconds", 0.60).is_none());
+        assert!(summarize(&history, "nope").is_none());
+        let table = render(&history, "step_seconds");
+        assert!(table.contains("ccc") && table.contains("+50.0%"));
+    }
+}

@@ -35,6 +35,13 @@ pub struct CpuRunOptions {
     /// figure sweeps run thousands of models and only need the means).
     #[serde(default)]
     pub collect_rank_stats: bool,
+    /// Imbalance-aware repartitioning cadence in steps (`0` disables it).
+    /// Every `repartition_every` steps the model measures each rank's busy
+    /// time over the window, asks the census for a suspect rank, and if one
+    /// is named re-splits the owned-atom loads in inverse proportion to the
+    /// measured per-atom rates.
+    #[serde(default)]
+    pub repartition_every: u64,
 }
 
 impl Default for CpuRunOptions {
@@ -46,8 +53,27 @@ impl Default for CpuRunOptions {
             thermo_every: 100,
             sim_steps: 120,
             collect_rank_stats: false,
+            repartition_every: 0,
         }
     }
+}
+
+/// One imbalance-aware re-split of the modeled decomposition: which rank
+/// the census named as the straggler, how many atoms moved, and how the
+/// windowed compute `%varavg` changed across the re-split.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RepartitionEvent {
+    /// Step the re-split happened at (a window boundary).
+    pub step: u64,
+    /// The straggler named by `md_parallel::suspect_rank`.
+    pub suspect_rank: usize,
+    /// Owned atoms that changed ranks.
+    pub moved_atoms: usize,
+    /// Windowed compute `%varavg` (`100·(max−mean)/mean` of per-rank busy
+    /// seconds) over the window *before* the re-split.
+    pub varavg_before_percent: f64,
+    /// Windowed compute `%varavg` over the window *after* the re-split.
+    pub varavg_after_percent: f64,
 }
 
 /// Result of one modeled run.
@@ -94,6 +120,18 @@ pub struct CpuRunResult {
     /// unless [`CpuRunOptions::collect_rank_stats`].
     #[serde(default)]
     pub critical_path: Vec<md_parallel::CriticalStep>,
+    /// Classified unhealthy exchanges from the comm-health layer. Empty
+    /// unless a policy was attached via [`CpuModel::set_comm_policy`].
+    #[serde(default)]
+    pub comm_events: Vec<md_parallel::CommHealthEvent>,
+    /// Ranks the comm-health layer declared failed (retry budget exhausted
+    /// on a silent peer).
+    #[serde(default)]
+    pub failed_ranks: Vec<usize>,
+    /// Imbalance-aware re-splits performed on the
+    /// [`CpuRunOptions::repartition_every`] cadence.
+    #[serde(default)]
+    pub repartitions: Vec<RepartitionEvent>,
 }
 
 impl CpuRunResult {
@@ -119,11 +157,26 @@ pub(crate) fn jitter(rank: usize, step: u64) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
 }
 
+/// Windowed compute imbalance in LAMMPS `%varavg` terms:
+/// `100·(max−mean)/mean` over per-rank busy seconds.
+fn varavg_percent(busy: &[f64]) -> f64 {
+    if busy.is_empty() {
+        return 0.0;
+    }
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let max = busy.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    100.0 * (max - mean) / mean
+}
+
 /// The CPU-instance performance model.
 #[derive(Clone, Default)]
 pub struct CpuModel {
     recorder: Option<md_observe::Recorder>,
     faults: Option<std::sync::Arc<dyn md_parallel::ClusterFaults>>,
+    comm: Option<md_parallel::CommPolicy>,
 }
 
 impl std::fmt::Debug for CpuModel {
@@ -131,6 +184,7 @@ impl std::fmt::Debug for CpuModel {
         f.debug_struct("CpuModel")
             .field("recorder", &self.recorder)
             .field("faults", &self.faults.is_some())
+            .field("comm", &self.comm)
             .finish()
     }
 }
@@ -153,6 +207,14 @@ impl CpuModel {
     /// perturb the simulated clocks (and surface as imbalance).
     pub fn set_faults(&mut self, faults: std::sync::Arc<dyn md_parallel::ClusterFaults>) {
         self.faults = Some(faults);
+    }
+
+    /// Arms the comm-health layer: every modeled run's cluster polices its
+    /// halo exchanges and allreduces under `policy` (deadline timeouts,
+    /// payload CRC checks, seeded retry backoff), and the classified
+    /// [`md_parallel::CommHealthEvent`]s surface in the result.
+    pub fn set_comm_policy(&mut self, policy: md_parallel::CommPolicy) {
+        self.comm = Some(policy);
     }
 
     /// Runs the model for `profile` decomposed over real positions.
@@ -204,6 +266,9 @@ impl CpuModel {
         if let Some(faults) = &self.faults {
             cluster.set_faults(faults.clone());
         }
+        if let Some(policy) = self.comm {
+            cluster.set_comm_policy(policy);
+        }
         if opts.collect_rank_stats {
             cluster.enable_step_tracking();
             if let Some(rec) = &self.recorder {
@@ -230,10 +295,65 @@ impl CpuModel {
         let fix_cost = calib::cpu_fix_seconds(bench);
         let npt = matches!(bench, Benchmark::Rhodo);
         let kspace = profile.kspace;
-        let loads = census.loads();
+        let mut loads = census.loads().to_vec();
         let partners: Vec<Vec<usize>> = (0..p).map(|r| decomp.face_neighbors(r).to_vec()).collect();
 
+        // Imbalance-aware repartitioning state: per-rank busy seconds at the
+        // last window boundary, plus the re-split whose "after" window is
+        // still being measured.
+        let rank_busy = |c: &VirtualCluster| -> Vec<f64> {
+            (0..p)
+                .map(|r| {
+                    let t = c.task_ledger(r);
+                    (t.total() - t.seconds(TaskKind::Comm) - t.seconds(TaskKind::Other)).max(0.0)
+                })
+                .collect()
+        };
+        let mut repartitions: Vec<RepartitionEvent> = Vec::new();
+        let mut pending: Option<RepartitionEvent> = None;
+        let mut window_base: Vec<f64> = if opts.repartition_every > 0 {
+            vec![0.0; p]
+        } else {
+            Vec::new()
+        };
+
         for step in 0..opts.sim_steps {
+            if opts.repartition_every > 0 && step > 0 && step % opts.repartition_every == 0 {
+                let busy_now = rank_busy(&cluster);
+                let window: Vec<f64> = busy_now
+                    .iter()
+                    .zip(&window_base)
+                    .map(|(now, base)| now - base)
+                    .collect();
+                let varavg = varavg_percent(&window);
+                if let Some(mut ev) = pending.take() {
+                    ev.varavg_after_percent = varavg;
+                    repartitions.push(ev);
+                }
+                if let Some(suspect) = md_parallel::suspect_rank(&window) {
+                    let new_loads = md_parallel::replan_loads(&loads, &window);
+                    let moved: usize = loads
+                        .iter()
+                        .zip(&new_loads)
+                        .map(|(old, new)| old.owned.abs_diff(new.owned))
+                        .sum::<usize>()
+                        / 2;
+                    if moved > 0 {
+                        loads = new_loads;
+                        pending = Some(RepartitionEvent {
+                            step,
+                            suspect_rank: suspect,
+                            moved_atoms: moved,
+                            varavg_before_percent: varavg,
+                            varavg_after_percent: varavg,
+                        });
+                        if let Some(rec) = &self.recorder {
+                            rec.count(0, "imbalance_repartitions", 1.0);
+                        }
+                    }
+                }
+                window_base = busy_now;
+            }
             cluster.begin_step(step);
             for (r, load) in loads.iter().enumerate() {
                 let owned = load.owned as f64;
@@ -335,6 +455,19 @@ impl CpuModel {
             }
         }
 
+        // Close the re-split still waiting on its "after" window with the
+        // partial window that ends the run.
+        if let Some(mut ev) = pending.take() {
+            let busy_now = rank_busy(&cluster);
+            let window: Vec<f64> = busy_now
+                .iter()
+                .zip(&window_base)
+                .map(|(now, base)| now - base)
+                .collect();
+            ev.varavg_after_percent = varavg_percent(&window);
+            repartitions.push(ev);
+        }
+
         cluster.finish_step_tracking();
 
         // Scale the periodic per-step ledgers from sim_steps to steps.
@@ -397,6 +530,9 @@ impl CpuModel {
             rank_mpi,
             rank_clocks,
             critical_path,
+            comm_events: cluster.take_comm_events(),
+            failed_ranks: cluster.failed_ranks(),
+            repartitions,
         })
     }
 }
@@ -505,6 +641,107 @@ mod tests {
         // Collecting stats must not change the modeled numbers.
         assert_eq!(full.ts_per_sec, lean.ts_per_sec);
         assert_eq!(full.tasks, lean.tasks);
+    }
+
+    #[test]
+    fn repartition_strictly_decreases_windowed_varavg() {
+        struct SlowRank3;
+        impl md_parallel::ClusterFaults for SlowRank3 {
+            fn compute_scale(&self, rank: usize, _step: u64) -> f64 {
+                if rank == 3 {
+                    4.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).unwrap();
+        let mut model = CpuModel::new();
+        model.set_faults(std::sync::Arc::new(SlowRank3));
+        let opts = CpuRunOptions {
+            ranks: 8,
+            sim_steps: 60,
+            repartition_every: 20,
+            ..CpuRunOptions::default()
+        };
+        let r = model.simulate(&profile, &bx, &x, &opts).unwrap();
+        assert!(
+            !r.repartitions.is_empty(),
+            "a 4x-slow rank must trigger a re-split"
+        );
+        for ev in &r.repartitions {
+            assert_eq!(ev.suspect_rank, 3, "census must name the slow rank");
+            assert!(ev.moved_atoms > 0);
+            assert!(
+                ev.varavg_after_percent < ev.varavg_before_percent,
+                "re-split at step {} must shrink %varavg ({:.2} -> {:.2})",
+                ev.step,
+                ev.varavg_before_percent,
+                ev.varavg_after_percent
+            );
+        }
+        // Identical runs classify and re-split identically.
+        let again = model.simulate(&profile, &bx, &x, &opts).unwrap();
+        assert_eq!(r.repartitions, again.repartitions);
+        assert_eq!(r.ts_per_sec, again.ts_per_sec);
+    }
+
+    #[test]
+    fn repartition_and_comm_stay_inert_by_default() {
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).unwrap();
+        let model = CpuModel::new();
+        let opts = CpuRunOptions {
+            ranks: 8,
+            sim_steps: 30,
+            ..CpuRunOptions::default()
+        };
+        let r = model.simulate(&profile, &bx, &x, &opts).unwrap();
+        assert!(r.repartitions.is_empty());
+        assert!(r.comm_events.is_empty());
+        assert!(r.failed_ranks.is_empty());
+        // A balanced run on the repartition cadence is a fixed point: no
+        // suspect, no re-split, identical modeled numbers.
+        let cadenced = CpuRunOptions {
+            repartition_every: 10,
+            ..opts
+        };
+        let c = model.simulate(&profile, &bx, &x, &cadenced).unwrap();
+        assert!(c.repartitions.is_empty(), "balanced run must not re-split");
+        assert_eq!(c.ts_per_sec, r.ts_per_sec);
+        assert_eq!(c.tasks, r.tasks);
+    }
+
+    #[test]
+    fn comm_policy_surfaces_crash_detection() {
+        struct Crash2;
+        impl md_parallel::ClusterFaults for Crash2 {
+            fn crash_rank(&self, rank: usize, step: u64) -> bool {
+                rank == 2 && step >= 10
+            }
+        }
+        let profile = WorkloadProfile::measure(Benchmark::Lj, 40, 1).unwrap();
+        let (bx, x) = build_positions(Benchmark::Lj, 1, 1).unwrap();
+        let mut model = CpuModel::new();
+        model.set_faults(std::sync::Arc::new(Crash2));
+        model.set_comm_policy(md_parallel::CommPolicy {
+            seed: 2022,
+            ..md_parallel::CommPolicy::default()
+        });
+        let opts = CpuRunOptions {
+            ranks: 8,
+            sim_steps: 30,
+            ..CpuRunOptions::default()
+        };
+        let r = model.simulate(&profile, &bx, &x, &opts).unwrap();
+        assert_eq!(r.failed_ranks, vec![2], "silent rank must be declared");
+        assert!(
+            r.comm_events
+                .iter()
+                .any(|e| e.peer == Some(2) && e.status == md_parallel::CommStatus::TimedOut),
+            "detection must classify the silence as a halo timeout"
+        );
     }
 
     #[test]

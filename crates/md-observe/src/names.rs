@@ -13,6 +13,7 @@
 //! | `insight_`   | md-insight     | `insight_findings`                      |
 //! | `imbalance_` | md-insight     | `imbalance_worst_varavg_pct`            |
 //! | `gpu_`       | md-model       | `gpu_pcie_htod_bytes`                   |
+//! | `comm_`      | md-parallel    | `comm_timeout`, `comm_retry`            |
 //!
 //! Three engine-core counters predate the convention and are grandfathered
 //! as exact names: `neighbor_rebuilds`, `pair_interactions`, `energy_drift`.
@@ -22,13 +23,14 @@
 //! `tests/insight_analysis.rs`.
 
 /// Subsystem prefixes a counter or gauge name may start with.
-pub const ALLOWED_COUNTER_PREFIXES: [&str; 6] = [
+pub const ALLOWED_COUNTER_PREFIXES: [&str; 7] = [
     "health_",
     "fault_",
     "recovery_",
     "insight_",
     "imbalance_",
     "gpu_",
+    "comm_",
 ];
 
 /// Engine-core counter names that predate the prefix convention.
@@ -50,7 +52,7 @@ mod tests {
     /// call sites must be added here (and follow the convention) — this is
     /// the registry half of the satellite check; the integration half
     /// asserts a live run's counter map in `tests/insight_analysis.rs`.
-    const PRODUCTION_COUNTERS: [&str; 21] = [
+    const PRODUCTION_COUNTERS: [&str; 31] = [
         "neighbor_rebuilds",
         "pair_interactions",
         "energy_drift",
@@ -67,6 +69,16 @@ mod tests {
         "fault_rank_slow",
         "fault_halo_drop",
         "fault_halo_dup",
+        "fault_rank_crash",
+        "fault_halo_corrupt",
+        "health_rank_failed",
+        "recovery_shrink",
+        "comm_timeout",
+        "comm_corrupt",
+        "comm_retry",
+        "comm_budget_exhausted",
+        "comm_exchange_ok",
+        "imbalance_repartitions",
         "insight_findings",
         "imbalance_suspect_rank",
         "imbalance_worst_varavg_pct",

@@ -23,12 +23,17 @@
 
 pub mod census;
 pub mod cluster;
+pub mod comm;
 pub mod decomposition;
 pub mod ghost;
 pub mod mpi;
 
-pub use census::{RankLoad, WorkloadCensus};
+pub use census::{replan_loads, suspect_rank, RankLoad, WorkloadCensus, SUSPECT_EXCESS_FRACTION};
 pub use cluster::{ClusterFaults, CriticalStep, LinkModel, VirtualCluster};
+pub use comm::{
+    frame_ghost_payload, ghost_digest, verify_ghost_payload, CommExchange, CommHealthEvent,
+    CommPolicy, CommStatus,
+};
 pub use decomposition::{Decomposition, ProcGrid};
 pub use ghost::GhostExchange;
 pub use mpi::{MpiFunction, MpiLedger};

@@ -1,0 +1,75 @@
+//! Property-based tests for the comm-health wire layer: ghost-payload
+//! framing must round-trip arbitrary payloads, reject every single-byte
+//! corruption, and the retry backoff must be a pure, capped function.
+
+use md_core::wire::crc32;
+use md_parallel::{frame_ghost_payload, verify_ghost_payload, CommPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Framing then verifying returns the original payload bytes.
+    #[test]
+    fn ghost_frame_round_trips(payload in proptest::collection::vec(0u8..=255, 0..512)) {
+        let frame = frame_ghost_payload(&payload);
+        let back = verify_ghost_payload(&frame).expect("clean frame verifies");
+        prop_assert_eq!(back, payload);
+    }
+
+    /// Flipping any single byte of the frame — tag, payload, or CRC
+    /// trailer — is detected.
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        payload in proptest::collection::vec(0u8..=255, 1..256),
+        pos_seed in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let mut frame = frame_ghost_payload(&payload);
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= flip;
+        prop_assert!(
+            verify_ghost_payload(&frame).is_err(),
+            "flip of byte {} survived verification",
+            pos
+        );
+    }
+
+    /// Truncating the frame anywhere is detected.
+    #[test]
+    fn truncation_is_detected(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let frame = frame_ghost_payload(&payload);
+        let cut = cut_seed % frame.len();
+        prop_assert!(verify_ghost_payload(&frame[..cut]).is_err());
+    }
+
+    /// The backoff schedule is pure (same inputs, same delay), positive,
+    /// and bounded by 1.5x the cap (the jitter factor's upper bound).
+    #[test]
+    fn backoff_is_pure_and_capped(
+        seed in 0u64..1000,
+        rank in 0usize..64,
+        step in 0u64..10_000,
+        attempt in 1u32..12,
+    ) {
+        let policy = CommPolicy { seed, ..CommPolicy::default() };
+        let a = policy.backoff_seconds(rank, step, attempt);
+        let b = policy.backoff_seconds(rank, step, attempt);
+        prop_assert_eq!(a, b, "backoff must be deterministic");
+        prop_assert!(a > 0.0);
+        prop_assert!(a <= policy.backoff_cap * 1.5 + 1e-12);
+    }
+
+    /// The CRC the frame carries is the standard CRC-32 of everything
+    /// before the trailer, so independent implementations interoperate.
+    #[test]
+    fn frame_trailer_is_plain_crc32(payload in proptest::collection::vec(0u8..=255, 0..64)) {
+        let frame = frame_ghost_payload(&payload);
+        let (body, trailer) = frame.split_at(frame.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        prop_assert_eq!(stored, crc32(body));
+    }
+}

@@ -10,6 +10,8 @@
 //! rank-slow:<rank>x<factor>@<step>    compute slowdown from <step> onward
 //! halo-drop:<rank>@<step>             halo message to <rank> lost once
 //! halo-dup:<rank>@<step>              halo payload delivered twice
+//! halo-corrupt:<rank>@<step>          halo payload corrupted in flight once
+//! rank-crash:<rank>@<step>            fail-stop: the rank dies at <step>
 //! force-flip:<atom>@<step>            exponent bit-flip in one force value
 //! ```
 //!
@@ -90,6 +92,8 @@ pub struct FaultPlan {
     slows: Vec<SlowEvent>,
     halo_drops: Vec<RankEvent>,
     halo_dups: Vec<RankEvent>,
+    halo_corrupts: Vec<RankEvent>,
+    crashes: Vec<RankEvent>,
     engine: Vec<EngineFault>,
 }
 
@@ -119,7 +123,7 @@ impl FaultPlan {
                 .parse()
                 .map_err(|_| bad(event, "step must be an unsigned integer"))?;
             match kind {
-                "rank-stall" | "halo-drop" | "halo-dup" => {
+                "rank-stall" | "halo-drop" | "halo-dup" | "halo-corrupt" | "rank-crash" => {
                     let rank: usize = target
                         .parse()
                         .map_err(|_| bad(event, "rank must be an unsigned integer"))?;
@@ -127,6 +131,8 @@ impl FaultPlan {
                     match kind {
                         "rank-stall" => plan.stalls.push(ev),
                         "halo-drop" => plan.halo_drops.push(ev),
+                        "halo-corrupt" => plan.halo_corrupts.push(ev),
+                        "rank-crash" => plan.crashes.push(ev),
                         _ => plan.halo_dups.push(ev),
                     }
                 }
@@ -158,7 +164,8 @@ impl FaultPlan {
                 _ => {
                     return Err(bad(
                         event,
-                        "unknown kind (rank-stall, rank-slow, halo-drop, halo-dup, force-flip)",
+                        "unknown kind (rank-stall, rank-slow, halo-drop, halo-dup, \
+                         halo-corrupt, rank-crash, force-flip)",
                     ))
                 }
             }
@@ -171,13 +178,27 @@ impl FaultPlan {
         &self.engine
     }
 
+    /// Scheduled fail-stop events as `(rank, step)` pairs, in spec order.
+    /// The resilient runner walks these to drive the degraded-mode shrink.
+    pub fn crashes(&self) -> Vec<(usize, u64)> {
+        self.crashes.iter().map(|e| (e.rank, e.step)).collect()
+    }
+
+    /// Whether the plan contains comm-health faults (crashes or in-flight
+    /// corruption) that the detection layer must be armed for.
+    pub fn has_comm_faults(&self) -> bool {
+        !(self.crashes.is_empty() && self.halo_corrupts.is_empty())
+    }
+
     /// Whether the plan perturbs the virtual-cluster timing model at all
     /// (if not, there is no reason to attach it to a model run).
     pub fn has_cluster_faults(&self) -> bool {
         !(self.stalls.is_empty()
             && self.slows.is_empty()
             && self.halo_drops.is_empty()
-            && self.halo_dups.is_empty())
+            && self.halo_dups.is_empty()
+            && self.halo_corrupts.is_empty()
+            && self.crashes.is_empty())
     }
 
     /// Whether the plan is entirely empty.
@@ -192,6 +213,8 @@ impl FaultPlan {
             .iter()
             .chain(&self.halo_drops)
             .chain(&self.halo_dups)
+            .chain(&self.halo_corrupts)
+            .chain(&self.crashes)
             .map(|e| e.step)
             .chain(self.slows.iter().map(|s| s.from_step))
             .max()
@@ -225,6 +248,19 @@ impl ClusterFaults for FaultPlan {
 
     fn duplicate_halo(&self, rank: usize, step: u64) -> bool {
         self.halo_dups
+            .iter()
+            .any(|e| e.rank == rank && e.step == step)
+    }
+
+    fn crash_rank(&self, rank: usize, step: u64) -> bool {
+        // Fail-stop is permanent: dead ranks stay dead.
+        self.crashes
+            .iter()
+            .any(|e| e.rank == rank && step >= e.step)
+    }
+
+    fn corrupt_halo(&self, rank: usize, step: u64) -> bool {
+        self.halo_corrupts
             .iter()
             .any(|e| e.rank == rank && e.step == step)
     }
@@ -284,6 +320,24 @@ mod tests {
                 "{spec:?} -> {err}"
             );
         }
+    }
+
+    #[test]
+    fn parses_comm_fault_kinds() {
+        let plan = FaultPlan::parse("rank-crash:3@15, halo-corrupt:2@8").unwrap();
+        assert!(plan.has_comm_faults() && plan.has_cluster_faults());
+        assert_eq!(plan.crashes(), vec![(3, 15)]);
+        assert!(!plan.crash_rank(3, 14), "alive before the crash step");
+        assert!(
+            plan.crash_rank(3, 15) && plan.crash_rank(3, 99),
+            "fail-stop"
+        );
+        assert!(!plan.crash_rank(2, 15));
+        assert!(plan.corrupt_halo(2, 8) && !plan.corrupt_halo(2, 9));
+        assert_eq!(plan.max_cluster_step(), Some(15));
+
+        let healthy = FaultPlan::parse("rank-stall:2@50").unwrap();
+        assert!(!healthy.has_comm_faults());
     }
 
     #[test]

@@ -22,9 +22,16 @@
 //!   structured [`recovery::FailureReport`] once the ladder is exhausted.
 //! * **Fault injection** ([`faults`]) — a deterministic, parseable
 //!   [`faults::FaultPlan`] that perturbs the virtual cluster (rank stalls,
-//!   slowdowns, dropped/duplicated halo messages) and the real engine
-//!   (force bit-flips), so the watchdog and recovery paths are exercised on
-//!   demand (`run_deck --faults ...`).
+//!   slowdowns, dropped/duplicated/corrupted halo messages, fail-stop rank
+//!   crashes) and the real engine (force bit-flips), so the watchdog and
+//!   recovery paths are exercised on demand (`run_deck --faults ...`).
+//!
+//! A fifth pillar rides on the four: the **degraded-mode shrink**. A
+//! `rank-crash` fault fail-stops a virtual rank; the comm-health layer in
+//! md-parallel detects the silence (deadline timeouts, retry budget), and
+//! [`recovery::ResilientRunner::with_cluster`] answers by rolling back to
+//! the last checkpoint and re-decomposing over N−1 ranks, emitting a
+//! structured [`recovery::ShrinkReport`].
 
 pub mod checkpoint;
 pub mod faults;
@@ -33,7 +40,9 @@ pub mod watchdog;
 
 pub use checkpoint::{Checkpoint, CheckpointHeader, CheckpointManager};
 pub use faults::{EngineFault, FaultPlan};
-pub use recovery::{FailureReport, Mitigation, RecoveryPolicy, ResilientRunner, RunSummary};
+pub use recovery::{
+    FailureReport, Mitigation, RecoveryPolicy, ResilientRunner, RunSummary, ShrinkReport,
+};
 pub use watchdog::{HealthEvent, Watchdog, WatchdogConfig};
 
 use std::path::PathBuf;

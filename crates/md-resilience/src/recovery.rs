@@ -18,11 +18,23 @@
 //! [`ResilienceError::Unrecoverable`]. A clean stretch of steps resets the
 //! ladder, so isolated transients pay one rung each rather than marching
 //! the run toward abort.
+//!
+//! A fourth, final rung exists outside the escalation ladder: the
+//! **degraded-mode shrink**. When the fault plan fail-stops a rank
+//! (`rank-crash`) and the runner is armed via
+//! [`ResilientRunner::with_cluster`], the run rolls back to the last
+//! healthy snapshot, re-decomposes the box over one fewer rank, and
+//! continues on the survivors, emitting a structured [`ShrinkReport`].
+//! The shrink touches no physics knob, so the post-shrink trajectory is
+//! bitwise identical to a crash-free run.
 
 use crate::checkpoint::CheckpointManager;
 use crate::faults::FaultPlan;
 use crate::watchdog::{HealthEvent, Watchdog};
 use crate::{ResilienceError, Result};
+use md_core::wire::{crc32, Reader, Writer};
+use md_core::CoreError;
+use md_parallel::{Decomposition, WorkloadCensus};
 use md_workloads::Deck;
 
 /// Knobs for the rollback-and-retry driver.
@@ -56,6 +68,9 @@ pub enum Mitigation {
     ShrinkTimestep,
     /// Tighten the long-range solver's accuracy target one notch.
     TightenKspace,
+    /// Re-decompose over one fewer rank after a fail-stop crash (the final
+    /// rung, driven by `rank-crash` events rather than the ladder).
+    ShrinkCluster,
 }
 
 /// Ladder order: cheap and reversible first.
@@ -71,6 +86,7 @@ impl std::fmt::Display for Mitigation {
             Mitigation::RebuildNeighbors => "rebuild-neighbors",
             Mitigation::ShrinkTimestep => "shrink-timestep",
             Mitigation::TightenKspace => "tighten-kspace",
+            Mitigation::ShrinkCluster => "shrink-cluster",
         })
     }
 }
@@ -113,6 +129,143 @@ impl std::fmt::Display for FailureReport {
     }
 }
 
+/// Magic tag framing a wire-encoded [`ShrinkReport`].
+const SHRINK_TAG: u32 = 0x4d44_5352; // "MDSR"
+
+/// Wire format version of [`ShrinkReport::encode`].
+const SHRINK_VERSION: u32 = 1;
+
+/// Structured record of one degraded-mode shrink: which rank died, where
+/// the run rolled back to, and how the decomposition's modeled imbalance
+/// changed when the box was re-split over the survivors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkReport {
+    /// Step the crash was scheduled at.
+    pub step: u64,
+    /// Snapshot step the run rolled back to before re-decomposing.
+    pub rollback_step: u64,
+    /// The fail-stopped rank.
+    pub failed_rank: usize,
+    /// Rank count before the shrink.
+    pub ranks_before: usize,
+    /// Rank count after the shrink.
+    pub ranks_after: usize,
+    /// Comm retry budget peers spent detecting the silence.
+    pub retries_spent: u32,
+    /// Census imbalance (`max/mean` owned atoms) of the pre-shrink
+    /// decomposition, measured at the rolled-back positions.
+    pub imbalance_before: f64,
+    /// Census imbalance of the shrunken decomposition.
+    pub imbalance_after: f64,
+}
+
+impl ShrinkReport {
+    /// Measures the before/after decomposition census at the deck's current
+    /// (rolled-back) positions and fills in the report.
+    fn measure(
+        deck: &Deck,
+        step: u64,
+        rollback_step: u64,
+        failed_rank: usize,
+        ranks_before: usize,
+        retries_spent: u32,
+    ) -> Result<Self> {
+        let bx = *deck.simulation.sim_box();
+        let x = deck.simulation.atoms().x();
+        // Owned-atom imbalance only; a zero ghost cutoff keeps the census
+        // O(N) on the recovery path.
+        let before = WorkloadCensus::measure(&Decomposition::new(bx, ranks_before)?, x, 0.0);
+        let after = WorkloadCensus::measure(&Decomposition::new(bx, ranks_before - 1)?, x, 0.0);
+        Ok(ShrinkReport {
+            step,
+            rollback_step,
+            failed_rank,
+            ranks_before,
+            ranks_after: ranks_before - 1,
+            retries_spent,
+            imbalance_before: before.imbalance(),
+            imbalance_after: after.imbalance(),
+        })
+    }
+
+    /// Serializes the report (tagged, versioned, CRC-32 trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(SHRINK_TAG);
+        w.u32(SHRINK_VERSION);
+        w.u64(self.step);
+        w.u64(self.rollback_step);
+        w.usize(self.failed_rank);
+        w.usize(self.ranks_before);
+        w.usize(self.ranks_after);
+        w.u32(self.retries_spent);
+        w.f64(self.imbalance_before);
+        w.f64(self.imbalance_after);
+        let crc = crc32(w.bytes());
+        w.u32(crc);
+        w.into_bytes()
+    }
+
+    /// Deserializes a report produced by [`ShrinkReport::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptState`] on truncation, a bad tag or
+    /// version, or a CRC-32 mismatch.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let corrupt = |detail: String| {
+            ResilienceError::Core(CoreError::CorruptState {
+                what: "shrink report",
+                detail,
+            })
+        };
+        if data.len() < 4 {
+            return Err(corrupt("shorter than the CRC trailer".into()));
+        }
+        let (body, trailer) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+        if crc32(body) != stored {
+            return Err(corrupt("CRC-32 mismatch".into()));
+        }
+        let mut r = Reader::new(body, "shrink report");
+        if r.u32()? != SHRINK_TAG {
+            return Err(corrupt("bad tag".into()));
+        }
+        let version = r.u32()?;
+        if version != SHRINK_VERSION {
+            return Err(corrupt(format!("unsupported version {version}")));
+        }
+        let report = ShrinkReport {
+            step: r.u64()?,
+            rollback_step: r.u64()?,
+            failed_rank: r.usize()?,
+            ranks_before: r.usize()?,
+            ranks_after: r.usize()?,
+            retries_spent: r.u32()?,
+            imbalance_before: r.f64()?,
+            imbalance_after: r.f64()?,
+        };
+        r.expect_exhausted()?;
+        Ok(report)
+    }
+}
+
+impl std::fmt::Display for ShrinkReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} failed at step {}; rolled back to step {} and re-decomposed over {} ranks \
+             (imbalance {:.3} -> {:.3})",
+            self.failed_rank,
+            self.step,
+            self.rollback_step,
+            self.ranks_after,
+            self.imbalance_before,
+            self.imbalance_after
+        )
+    }
+}
+
 /// What a resilient run did, for callers and the harness to report.
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
@@ -126,6 +279,8 @@ pub struct RunSummary {
     pub mitigations: Vec<Mitigation>,
     /// Disk checkpoints written.
     pub checkpoints_written: u64,
+    /// Degraded-mode shrinks performed, in order.
+    pub shrinks: Vec<ShrinkReport>,
 }
 
 impl RunSummary {
@@ -147,6 +302,13 @@ pub struct ResilientRunner {
     /// Last healthy `(step, state)` snapshot.
     snapshot: Option<(u64, Vec<u8>)>,
     checkpoints: Option<(CheckpointManager, u64)>,
+    /// Surviving virtual-cluster rank count, when the degraded-mode shrink
+    /// is armed via [`ResilientRunner::with_cluster`].
+    cluster_ranks: Option<usize>,
+    /// Comm retry budget recorded in each [`ShrinkReport`].
+    max_rank_retries: u32,
+    /// Handled-once flags, one per `plan.crashes()` entry.
+    crash_handled: Vec<bool>,
 }
 
 impl ResilientRunner {
@@ -155,6 +317,7 @@ impl ResilientRunner {
     /// healthy run.
     pub fn new(policy: RecoveryPolicy, watchdog: Watchdog, plan: FaultPlan) -> Self {
         let consumed = vec![false; plan.engine_faults().len()];
+        let crash_handled = vec![false; plan.crashes().len()];
         ResilientRunner {
             policy,
             watchdog,
@@ -162,7 +325,21 @@ impl ResilientRunner {
             consumed,
             snapshot: None,
             checkpoints: None,
+            cluster_ranks: None,
+            max_rank_retries: 3,
+            crash_handled,
         }
+    }
+
+    /// Arms the degraded-mode shrink: the virtual cluster starts with
+    /// `ranks` ranks, and each `rank-crash` fault in the plan rolls the run
+    /// back to the last snapshot and re-decomposes over one fewer rank.
+    /// `max_rank_retries` is the comm retry budget peers spend detecting
+    /// the silence, recorded in each [`ShrinkReport`].
+    pub fn with_cluster(mut self, ranks: usize, max_rank_retries: u32) -> Self {
+        self.cluster_ranks = Some(ranks);
+        self.max_rank_retries = max_rank_retries;
+        self
     }
 
     /// Also write disk checkpoints through `manager` (at its own cadence),
@@ -195,6 +372,63 @@ impl ResilientRunner {
         self.snapshot = Some((start, deck.simulation.save_state()));
 
         while deck.simulation.step_index() < target {
+            let step = deck.simulation.step_index();
+
+            // Fail-stop crashes due at or before this step trigger the
+            // final rung: roll back and shrink the cluster (handled once
+            // per event; ignored when the shrink is not armed).
+            let crashes = self.plan.crashes();
+            for i in 0..crashes.len() {
+                let (rank, crash_step) = crashes[i];
+                if crash_step > step || self.crash_handled[i] {
+                    continue;
+                }
+                self.crash_handled[i] = true;
+                let Some(ranks_now) = self.cluster_ranks else {
+                    continue;
+                };
+                let event = HealthEvent::RankFailed {
+                    rank,
+                    retries: self.max_rank_retries,
+                };
+                deck.simulation.recorder().count(0, event.counter(), 1.0);
+                summary.violations += 1;
+                if ranks_now <= 1 || summary.rollbacks >= self.policy.max_retries {
+                    return Err(ResilienceError::Unrecoverable(Box::new(FailureReport {
+                        step,
+                        events: vec![event],
+                        mitigations: summary.mitigations.clone(),
+                        rollbacks: summary.rollbacks,
+                    })));
+                }
+                // Roll back to the last healthy snapshot; the survivors
+                // replay the lost steps, so the post-shrink trajectory is
+                // bitwise the crash-free one (no physics knob moves).
+                let (snap_step, state) = self
+                    .snapshot
+                    .as_ref()
+                    .expect("snapshot taken before stepping");
+                let snap_step = *snap_step;
+                deck.simulation.load_state(state)?;
+                self.watchdog.reset_reference();
+                summary.rollbacks += 1;
+                let rec = deck.simulation.recorder();
+                rec.count(0, "recovery_rollback", 1.0);
+                rec.count(0, "recovery_mitigation", 1.0);
+                rec.count(0, "recovery_shrink", 1.0);
+                let report = ShrinkReport::measure(
+                    deck,
+                    crash_step,
+                    snap_step,
+                    rank,
+                    ranks_now,
+                    self.max_rank_retries,
+                )?;
+                self.cluster_ranks = Some(ranks_now - 1);
+                summary.mitigations.push(Mitigation::ShrinkCluster);
+                summary.shrinks.push(report);
+            }
+            // The rollback may have rewound past `step`; re-read it.
             let step = deck.simulation.step_index();
 
             // Inject engine faults due before this step (consumed once).
@@ -270,6 +504,8 @@ impl ResilientRunner {
                     // plain retry; the next escalation aborts.
                     let _ = deck.simulation.tighten_kspace()?;
                 }
+                // Driven by rank-crash events above, never by the ladder.
+                Mitigation::ShrinkCluster => unreachable!("not a ladder rung"),
             }
             summary.mitigations.push(rung);
             deck.simulation
@@ -400,6 +636,119 @@ mod tests {
         );
         assert_eq!(summary.rollbacks, 3);
         assert_eq!(deck.simulation.step_index(), 20);
+    }
+
+    #[test]
+    fn rank_crash_shrinks_and_matches_clean_trajectory_bitwise() {
+        let mut clean = lj(5);
+        clean.simulation.run(20).unwrap();
+
+        let mut deck = lj(5);
+        let plan = FaultPlan::parse("rank-crash:1@7").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                snapshot_every: 5,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        )
+        .with_cluster(8, 3);
+        let summary = runner.run(&mut deck, 20).unwrap();
+        assert_eq!(summary.steps_run, 20);
+        assert_eq!(summary.rollbacks, 1);
+        assert_eq!(summary.mitigations, vec![Mitigation::ShrinkCluster]);
+        assert_eq!(summary.shrinks.len(), 1);
+        let report = &summary.shrinks[0];
+        assert_eq!(report.failed_rank, 1);
+        assert_eq!(report.step, 7);
+        assert_eq!(report.rollback_step, 5, "last snapshot before the crash");
+        assert_eq!(report.ranks_before, 8);
+        assert_eq!(report.ranks_after, 7);
+        assert_eq!(report.retries_spent, 3);
+        assert!(report.imbalance_before >= 1.0 && report.imbalance_after >= 1.0);
+        // The shrink touches no physics knob: the post-shrink trajectory is
+        // bitwise the crash-free one.
+        assert_eq!(fingerprint(&clean), fingerprint(&deck));
+        // And the shrink is deterministic across two identical runs.
+        let mut again = lj(5);
+        let mut runner2 = ResilientRunner::new(
+            RecoveryPolicy {
+                snapshot_every: 5,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            FaultPlan::parse("rank-crash:1@7").unwrap(),
+        )
+        .with_cluster(8, 3);
+        let summary2 = runner2.run(&mut again, 20).unwrap();
+        assert_eq!(summary.shrinks, summary2.shrinks);
+        assert_eq!(fingerprint(&deck), fingerprint(&again));
+    }
+
+    #[test]
+    fn crash_with_one_rank_left_is_a_structured_failure() {
+        let mut deck = lj(5);
+        let plan = FaultPlan::parse("rank-crash:1@5,rank-crash:0@9").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy {
+                snapshot_every: 5,
+                ..RecoveryPolicy::default()
+            },
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        )
+        .with_cluster(2, 3);
+        let err = runner.run(&mut deck, 20).unwrap_err();
+        match err {
+            ResilienceError::Unrecoverable(report) => {
+                assert!(matches!(
+                    report.events[..],
+                    [HealthEvent::RankFailed { rank: 0, .. }]
+                ));
+                assert_eq!(report.mitigations, vec![Mitigation::ShrinkCluster]);
+                let text = report.to_string();
+                assert!(text.contains("declared failed"), "{text}");
+                assert!(text.contains("shrink-cluster"), "{text}");
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crashes_without_an_armed_cluster_are_ignored() {
+        let mut deck = lj(5);
+        let plan = FaultPlan::parse("rank-crash:1@7").unwrap();
+        let mut runner = ResilientRunner::new(
+            RecoveryPolicy::default(),
+            Watchdog::new(WatchdogConfig::default()),
+            plan,
+        );
+        let summary = runner.run(&mut deck, 20).unwrap();
+        assert_eq!(summary.rollbacks, 0);
+        assert!(summary.shrinks.is_empty());
+    }
+
+    #[test]
+    fn shrink_report_round_trips_and_rejects_corruption() {
+        let report = ShrinkReport {
+            step: 42,
+            rollback_step: 40,
+            failed_rank: 3,
+            ranks_before: 8,
+            ranks_after: 7,
+            retries_spent: 3,
+            imbalance_before: 1.25,
+            imbalance_after: 1.125,
+        };
+        let bytes = report.encode();
+        assert_eq!(ShrinkReport::decode(&bytes).unwrap(), report);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(ShrinkReport::decode(&bad).is_err(), "byte {i} undetected");
+        }
+        assert!(ShrinkReport::decode(&bytes[..bytes.len() - 5]).is_err());
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub enum HealthEvent {
         /// The engine error, rendered.
         message: String,
     },
+    /// A virtual-cluster rank was declared failed after its peers exhausted
+    /// their comm retry budget. Synthesized by the recovery driver when the
+    /// degraded-mode shrink runs out of ranks or rollbacks.
+    RankFailed {
+        /// The rank declared failed.
+        rank: usize,
+        /// Retries spent before the declaration.
+        retries: u32,
+    },
 }
 
 impl HealthEvent {
@@ -113,6 +122,7 @@ impl HealthEvent {
             HealthEvent::TemperatureSpike { .. } => "health_temperature_spike",
             HealthEvent::EscapedAtom { .. } => "health_escaped_atom",
             HealthEvent::StepFailed { .. } => "health_step_error",
+            HealthEvent::RankFailed { .. } => "health_rank_failed",
         }
     }
 }
@@ -148,6 +158,12 @@ impl std::fmt::Display for HealthEvent {
                 write!(f, "atom {atom} escaped the simulation box")
             }
             HealthEvent::StepFailed { message } => write!(f, "engine step failed: {message}"),
+            HealthEvent::RankFailed { rank, retries } => {
+                write!(
+                    f,
+                    "rank {rank} declared failed after {retries} exhausted retries"
+                )
+            }
         }
     }
 }

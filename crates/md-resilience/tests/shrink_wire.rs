@@ -1,0 +1,65 @@
+//! Property-based tests for the [`ShrinkReport`] wire format: arbitrary
+//! reports round-trip bitwise, and every single-byte corruption of the
+//! encoded blob is rejected as `CorruptState` rather than misdecoded.
+
+use md_resilience::ShrinkReport;
+use proptest::prelude::*;
+
+fn arb_report() -> impl Strategy<Value = ShrinkReport> {
+    (
+        (0u64..1_000_000, 0u64..1_000_000, 0usize..64, 2usize..64),
+        (0u32..16, 0.0..10.0f64, 0.0..10.0f64),
+    )
+        .prop_map(
+            |((step, rollback_step, failed_rank, ranks_before), (retries, before, after))| {
+                ShrinkReport {
+                    step,
+                    rollback_step,
+                    failed_rank,
+                    ranks_before,
+                    ranks_after: ranks_before - 1,
+                    retries_spent: retries,
+                    imbalance_before: before,
+                    imbalance_after: after,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode → decode is the identity for any report.
+    #[test]
+    fn shrink_report_round_trips(report in arb_report()) {
+        let blob = report.encode();
+        let back = ShrinkReport::decode(&blob).expect("clean blob decodes");
+        prop_assert_eq!(back, report);
+    }
+
+    /// Flipping any single byte of the blob is rejected.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        report in arb_report(),
+        pos_seed in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let mut blob = report.encode();
+        let pos = pos_seed % blob.len();
+        blob[pos] ^= flip;
+        let err = ShrinkReport::decode(&blob).expect_err("corruption must be caught");
+        prop_assert!(
+            err.to_string().contains("shrink report"),
+            "error must name the artifact: {}",
+            err
+        );
+    }
+
+    /// Truncation anywhere is rejected.
+    #[test]
+    fn truncation_is_rejected(report in arb_report(), cut_seed in 0usize..1_000_000) {
+        let blob = report.encode();
+        let cut = cut_seed % blob.len();
+        prop_assert!(ShrinkReport::decode(&blob[..cut]).is_err());
+    }
+}
